@@ -1,0 +1,305 @@
+// Command ctfl reproduces the paper's experiments from the command line.
+//
+// Usage:
+//
+//	ctfl datasets                      list the benchmark generators
+//	ctfl run table2 [flags]            Table II motivating example
+//	ctfl run fig4   [flags]            remove-top-contributors curves
+//	ctfl run fig5   [flags]            execution-time comparison
+//	ctfl run fig6   [flags]            robustness to adverse behaviours
+//	ctfl run fig7   [flags]            tic-tac-toe interpretability study
+//	ctfl run tablev [flags]            adult interpretability study
+//	ctfl run all    [flags]            everything above
+//
+// Common flags (after the experiment name):
+//
+//	-dataset name   benchmark for fig4/fig5/fig6 (default: all four)
+//	-rows n         rows per generated dataset (0 = paper's full size)
+//	-n k            participants (default 8)
+//	-seed s         RNG seed (default 1)
+//	-skew mode      sample | label | both (default both)
+//	-full           include ShapleyValue and LeastCore everywhere
+//	                (they are skipped on dota2 by default, as in the paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "ctfl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return nil
+	}
+	switch args[0] {
+	case "datasets":
+		return cmdDatasets()
+	case "run":
+		if len(args) < 2 {
+			return fmt.Errorf("run: missing experiment name (table2|fig4|fig5|fig6|fig7|tablev|ablation|all)")
+		}
+		return cmdRun(args[1], args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Println(`ctfl — CTFL experiment runner (ICDE 2024 reproduction)
+
+commands:
+  ctfl datasets             list benchmark datasets
+  ctfl run <experiment>     table2 | fig4 | fig5 | fig6 | fig7 | tablev |
+                            ablation | quality | all
+  ctfl help                 this message
+
+run flags: -dataset -rows -n -seed -skew -full (see -h of each run)`)
+}
+
+func cmdDatasets() error {
+	t := experiments.NewTable("benchmark datasets (paper Table IV)",
+		"dataset", "#-instances", "#-features", "source")
+	for _, b := range dataset.Benchmarks() {
+		src := "synthetic stand-in (planted rules; see DESIGN.md)"
+		if b.Name == "tic-tac-toe" {
+			src = "exact regeneration by game-tree enumeration"
+		}
+		t.AddRow(b.Name, fmt.Sprintf("%d", b.FullSize), b.FeatureNote, src)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+type runFlags struct {
+	dataset string
+	rows    int
+	n       int
+	seed    int64
+	skew    string
+	full    bool
+	topK    int
+	rounds  int
+	epochs  int
+	repeats int
+}
+
+func parseRunFlags(name string, args []string) (*runFlags, error) {
+	fs := flag.NewFlagSet("run "+name, flag.ContinueOnError)
+	rf := &runFlags{}
+	fs.StringVar(&rf.dataset, "dataset", "", "benchmark name (default: all four)")
+	fs.IntVar(&rf.rows, "rows", 1500, "generated rows per dataset (0 = paper full size)")
+	fs.IntVar(&rf.n, "n", 8, "number of participants")
+	fs.Int64Var(&rf.seed, "seed", 1, "RNG seed")
+	fs.StringVar(&rf.skew, "skew", "both", "data distribution: sample | label | both")
+	fs.BoolVar(&rf.full, "full", false, "include ShapleyValue/LeastCore on every dataset")
+	fs.IntVar(&rf.topK, "topk", 5, "participants to remove in fig4")
+	fs.IntVar(&rf.rounds, "rounds", 0, "FedAvg rounds (0 = default)")
+	fs.IntVar(&rf.epochs, "epochs", 0, "local epochs per round (0 = default)")
+	fs.IntVar(&rf.repeats, "repeats", 3, "repetitions averaged in fig4/fig6 (paper uses 10)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return rf, nil
+}
+
+func (rf *runFlags) datasets() []string {
+	if rf.dataset != "" {
+		return []string{rf.dataset}
+	}
+	var names []string
+	for _, b := range dataset.Benchmarks() {
+		names = append(names, b.Name)
+	}
+	return names
+}
+
+func (rf *runFlags) skews() []bool {
+	switch rf.skew {
+	case "sample":
+		return []bool{false}
+	case "label":
+		return []bool{true}
+	default:
+		return []bool{false, true}
+	}
+}
+
+func (rf *runFlags) workload(ds string, skewLabel bool) experiments.Workload {
+	w := experiments.QuickWorkload(ds, skewLabel, rf.seed)
+	if rf.rows != 1500 { // user overrode the default
+		w.Rows = rf.rows
+	}
+	if ds == "tic-tac-toe" {
+		w.Rows = 0
+	}
+	w.Participants = rf.n
+	w.Rounds = rf.rounds
+	w.LocalEpochs = rf.epochs
+	return w
+}
+
+// expensiveOK mirrors the paper: ShapleyValue and LeastCore are dropped on
+// dota2 (they cannot finish in reasonable time) unless -full is given.
+func (rf *runFlags) expensiveOK(ds string) bool {
+	return rf.full || ds != "dota2"
+}
+
+func cmdRun(name string, args []string) error {
+	rf, err := parseRunFlags(name, args)
+	if err != nil {
+		return err
+	}
+	switch name {
+	case "table2":
+		return runTable2(rf)
+	case "fig4":
+		return runFig4(rf)
+	case "fig5":
+		return runFig5(rf)
+	case "fig6":
+		return runFig6(rf)
+	case "fig7":
+		return runInterpret(rf, "tic-tac-toe")
+	case "tablev":
+		return runInterpret(rf, "adult")
+	case "ablation":
+		return runAblation(rf)
+	case "quality":
+		return runQuality(rf)
+	case "all":
+		for _, fn := range []func() error{
+			func() error { return runTable2(rf) },
+			func() error { return runFig4(rf) },
+			func() error { return runFig5(rf) },
+			func() error { return runFig6(rf) },
+			func() error { return runInterpret(rf, "tic-tac-toe") },
+			func() error { return runInterpret(rf, "adult") },
+		} {
+			if err := fn(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}
+
+func runTable2(rf *runFlags) error {
+	res, err := experiments.RunTable2(rf.seed)
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+	return nil
+}
+
+func runFig4(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		for _, skewLabel := range rf.skews() {
+			res, err := experiments.RunFig4Avg(rf.workload(ds, skewLabel), rf.topK, rf.expensiveOK(ds), rf.repeats)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func runFig5(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		s, err := experiments.Materialize(rf.workload(ds, true))
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunFig5(s, rf.expensiveOK(ds))
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		fmt.Printf("CTFL-micro speedup over slowest method: %.1fx\n\n", res.SpeedupOver("CTFL-micro"))
+	}
+	return nil
+}
+
+func runFig6(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		res, err := experiments.RunFig6Avg(rf.workload(ds, true), 2, rf.expensiveOK(ds), rf.repeats)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+	}
+	return nil
+}
+
+func runQuality(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		s, err := experiments.Materialize(rf.workload(ds, true))
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunQuality(s)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runAblation(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		s, err := experiments.Materialize(rf.workload(ds, true))
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunAblation(s)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runInterpret(rf *runFlags, ds string) error {
+	w := rf.workload(ds, true)
+	w.Participants = 3 // the paper's case studies use three participants
+	if w.Rounds == 0 {
+		w.Rounds = 12
+	}
+	if w.LocalEpochs == 0 {
+		w.LocalEpochs = 20
+	}
+	s, err := experiments.Materialize(w)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunInterpret(s, 3)
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+	return nil
+}

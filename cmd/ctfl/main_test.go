@@ -1,0 +1,159 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunDispatch(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("no-arg usage: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Fatalf("help: %v", err)
+	}
+	if err := run([]string{"datasets"}); err != nil {
+		t.Fatalf("datasets: %v", err)
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Fatal("unknown command should error")
+	}
+	if err := run([]string{"run"}); err == nil {
+		t.Fatal("run without experiment should error")
+	}
+	if err := run([]string{"run", "bogus"}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestParseRunFlags(t *testing.T) {
+	rf, err := parseRunFlags("fig4", []string{"-dataset", "adult", "-n", "4", "-skew", "label", "-repeats", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rf.datasets(); len(got) != 1 || got[0] != "adult" {
+		t.Fatalf("datasets = %v", got)
+	}
+	if got := rf.skews(); len(got) != 1 || got[0] != true {
+		t.Fatalf("skews = %v", got)
+	}
+	if rf.n != 4 || rf.repeats != 2 {
+		t.Fatalf("flags not parsed: %+v", rf)
+	}
+	if _, err := parseRunFlags("fig4", []string{"-n", "nope"}); err == nil {
+		t.Fatal("bad flag value should error")
+	}
+}
+
+func TestRunFlagsDefaults(t *testing.T) {
+	rf, err := parseRunFlags("fig5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rf.datasets(); len(got) != 4 {
+		t.Fatalf("default datasets = %v", got)
+	}
+	if got := rf.skews(); len(got) != 2 {
+		t.Fatalf("default skews = %v", got)
+	}
+	if rf.expensiveOK("dota2") {
+		t.Fatal("dota2 should skip expensive schemes by default")
+	}
+	if !rf.expensiveOK("adult") {
+		t.Fatal("adult should include expensive schemes")
+	}
+	rf.full = true
+	if !rf.expensiveOK("dota2") {
+		t.Fatal("-full should include expensive schemes on dota2")
+	}
+}
+
+func TestWorkloadConstruction(t *testing.T) {
+	rf, err := parseRunFlags("fig4", []string{"-rows", "300", "-n", "5", "-seed", "9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := rf.workload("adult", true)
+	if w.Rows != 300 || w.Participants != 5 || w.Seed != 9 || !w.SkewLabel {
+		t.Fatalf("workload = %+v", w)
+	}
+	// tic-tac-toe always uses its natural size.
+	if rf.workload("tic-tac-toe", false).Rows != 0 {
+		t.Fatal("tic-tac-toe rows should be 0")
+	}
+}
+
+func TestRunFig5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "fig5",
+		"-dataset", "tic-tac-toe", "-n", "3", "-rounds", "1", "-epochs", "4", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	if err := run([]string{"run", "table2", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "fig4",
+		"-dataset", "tic-tac-toe", "-n", "3", "-rounds", "1", "-epochs", "4",
+		"-skew", "sample", "-repeats", "1", "-topk", "2", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "fig6",
+		"-dataset", "tic-tac-toe", "-n", "3", "-rounds", "1", "-epochs", "4",
+		"-repeats", "1", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInterpretEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "fig7", "-rounds", "2", "-epochs", "5", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "ablation",
+		"-dataset", "tic-tac-toe", "-n", "3", "-rounds", "1", "-epochs", "4", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQualityEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	err := run([]string{"run", "quality",
+		"-dataset", "tic-tac-toe", "-n", "3", "-rounds", "1", "-epochs", "4", "-seed", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ttt.csv")
+	if err := run([]string{"-dataset", "tic-tac-toe", "-out", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 959 { // header + 958 boards
+		t.Fatalf("lines = %d, want 959", lines)
+	}
+	if !strings.HasPrefix(string(data), "top-left,") {
+		t.Fatalf("header wrong: %q", string(data[:40]))
+	}
+}
+
+func TestGenerateSyntheticWithRows(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bank.csv")
+	if err := run([]string{"-dataset", "bank", "-rows", "50", "-seed", "3", "-out", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "\n") != 51 {
+		t.Fatalf("rows wrong")
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	if err := run([]string{"-list"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, os.Stdout); err == nil {
+		t.Fatal("missing -dataset should error")
+	}
+	if err := run([]string{"-dataset", "nope"}, os.Stdout); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+	if err := run([]string{"-bogusflag"}, os.Stdout); err == nil {
+		t.Fatal("bad flag should error")
+	}
+	if err := run([]string{"-dataset", "adult", "-out", "/nonexistent-dir/x.csv"}, os.Stdout); err == nil {
+		t.Fatal("unwritable output should error")
+	}
+}

@@ -1,0 +1,39 @@
+// Command ctflsrv runs the federation's contribution-estimation service.
+//
+// Usage:
+//
+//	ctflsrv [-addr :8080]
+//
+// Lifecycle (see internal/server for payload formats):
+//
+//	POST /v1/encoder   publish the predicate encoding (JSON)
+//	POST /v1/model     publish the trained rule-based model (binary)
+//	POST /v1/uploads   register participant activation frames
+//	POST /v1/trace     score a reserved test set (CSV) → JSON report
+//	GET  /v1/rules     inspect the extracted rules
+//	GET  /healthz      liveness and state summary
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("ctflsrv listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Fast, Robust and
+// Interpretable Participant Contribution Estimation for Federated Learning"
+// (CTFL, ICDE 2024).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are cmd/ctfl and the examples/ programs.
+// The benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation; EXPERIMENTS.md records paper-vs-measured results.
+package repro

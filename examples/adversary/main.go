@@ -1,0 +1,126 @@
+// Adversary: how CTFL's allocation schemes react to strategic and malicious
+// participants.
+//
+// Three attacks from the paper's robustness study (Section IV-A / Fig. 6)
+// are staged against a bank-marketing federation. The global model is
+// trained once on the honest data; each attack then modifies one
+// participant's uploaded rule-activation vectors and re-runs ONLY the
+// tracing/allocation phase. This isolates the allocation-level robustness
+// properties (the full retraining protocol is exercised by `ctfl run fig6`):
+//
+//   - data replication — duplicated rows inflate the proportional (micro)
+//     score but leave the macro score exactly unchanged;
+//   - low-quality data — randomly re-labeled rows stop matching test
+//     instances of their true class, so the micro score drops;
+//   - label flipping — flipped rows lose their gain AND absorb blame on
+//     misclassified test data, so the suspicion report singles the
+//     attacker out.
+//
+// Run with: go run ./examples/adversary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func main() {
+	r := stats.NewRNG(7)
+	tab := dataset.Bank(r, 3000)
+	train, test := tab.Split(r, 0.2)
+	// Near-uniform shards: every participant competes on most test
+	// instances, so score movements reflect data quality, not shard size.
+	parts := fl.PartitionSkewSample(train, 5, 8.0, r)
+
+	enc, err := dataset.NewEncoder(tab.Schema, 10, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 5, LocalEpochs: 12, Parallel: true,
+		Model: nn.Config{Hidden: []int{64}, Grafting: true, Seed: 3, L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true},
+	})
+	model, err := trainer.Train(parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs := rules.Extract(model, enc)
+	fmt.Printf("global model accuracy: %.3f\n\n", trainer.Evaluate(model, test))
+
+	cfg := core.Config{TauW: 0.85, Delta: 2}
+	trace := func(ps []*fl.Participant) *core.Result {
+		return core.NewTracer(rs, ps, cfg).Trace(test)
+	}
+
+	base := trace(parts)
+	microBase, macroBase := base.MicroScores(), base.MacroScores()
+	ratioBase := base.Suspicion(0.5).Ratio
+	fmt.Println("baseline scores (honest data):")
+	printScores(parts, microBase, macroBase)
+
+	victim := stats.ArgsortDesc(microBase)[0]
+	name := parts[victim].Name
+
+	fmt.Printf("\n=== attack 1: %s replicates 100%% of its data ===\n", name)
+	repl := trace(fl.ReplaceParticipant(parts, fl.Replicate(parts[victim], 1.0, r)))
+	mR, MR := repl.MicroScores(), repl.MacroScores()
+	fmt.Printf("micro: %.4f -> %.4f (%+.1f%%)  — Eq. 5 is size-proportional, so it inflates\n",
+		microBase[victim], mR[victim], pct(microBase[victim], mR[victim]))
+	fmt.Printf("macro: %.4f -> %.4f (%+.1f%%)  — Eq. 6 caps credit at the δ threshold\n",
+		macroBase[victim], MR[victim], pct(macroBase[victim], MR[victim]))
+
+	fmt.Printf("\n=== attack 2: %s injects 50%% low-quality labels ===\n", name)
+	lq := trace(fl.ReplaceParticipant(parts, fl.InjectLowQuality(parts[victim], 0.5, r)))
+	mL := lq.MicroScores()
+	fmt.Printf("micro: %.4f -> %.4f (%+.1f%%)  — re-labeled rows stop matching their true class\n",
+		microBase[victim], mL[victim], pct(microBase[victim], mL[victim]))
+
+	fmt.Printf("\n=== attack 3: %s flips 50%% of its labels ===\n", name)
+	// Label flipping is a poisoning attack: its signature appears when the
+	// global model is trained WITH the flipped data and learns wrong-side
+	// rules from it. Retrain for this attack, then trace the poisoned model.
+	poisonedParts := fl.ReplaceParticipant(parts, fl.FlipLabels(parts[victim], 0.5, r))
+	poisonedModel, err := trainer.Train(poisonedParts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prs := rules.Extract(poisonedModel, enc)
+	flipped := core.NewTracer(prs, poisonedParts, cfg).Trace(test)
+	mF := flipped.MicroScores()
+	fmt.Printf("micro: %.4f -> %.4f (%+.1f%%)  — flipped rows cannot fulfil 1[y_hat = y_te]\n",
+		microBase[victim], mF[victim], pct(microBase[victim], mF[victim]))
+	rep := flipped.Suspicion(0.5)
+	uselessBase := base.UselessRatio()
+	useless := flipped.UselessRatio()
+	fmt.Println("audit per participant (vs honest baseline):")
+	fmt.Printf("  %-12s %18s %22s\n", "", "loss ratio", "useless-data ratio")
+	for i, p := range parts {
+		mark := ""
+		if useless[i] > uselessBase[i]+0.15 {
+			mark = "  <-- untraceable data surged: inspect for label flipping"
+		}
+		fmt.Printf("  %-12s %8.2f (was %.2f) %12.2f (was %.2f)%s\n",
+			p.Name, rep.Ratio[i], ratioBase[i], useless[i], uselessBase[i], mark)
+	}
+}
+
+func printScores(parts []*fl.Participant, micro, macro []float64) {
+	fmt.Printf("  %-12s %8s %8s\n", "participant", "micro", "macro")
+	for i, p := range parts {
+		fmt.Printf("  %-12s %8.4f %8.4f\n", p.Name, micro[i], macro[i])
+	}
+}
+
+func pct(before, after float64) float64 {
+	if before == 0 {
+		return 0
+	}
+	return (after - before) / before * 100
+}

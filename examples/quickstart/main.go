@@ -1,0 +1,70 @@
+// Quickstart: estimate participant contributions on tic-tac-toe in one pass.
+//
+// This is the minimal CTFL pipeline:
+//  1. generate a dataset and reserve a federation test set,
+//  2. partition the training data across participants,
+//  3. train ONE global rule-based model with FedAvg,
+//  4. trace every test instance back to the training data that learned its
+//     activated rules, and
+//  5. allocate micro (proportional) and macro (replication-robust) scores.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func main() {
+	// 1. Data: the exact UCI tic-tac-toe endgame set, regenerated locally.
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(42)
+	train, test := tab.Split(r, 0.2)
+	fmt.Printf("dataset: %s — %d train / %d test rows\n", tab.Schema.Name, train.Len(), test.Len())
+
+	// 2. Federation: four participants with Dirichlet-skewed label mixes.
+	parts := fl.PartitionSkewLabel(train, 4, 0.8, r)
+	for _, p := range parts {
+		d := p.LabelDistribution()
+		fmt.Printf("  participant %s: %4d rows (%.0f%% positive)\n", p.Name, p.Size(), d[1]*100)
+	}
+
+	// 3. One global model: encoder fixed by the federation, logical network
+	//    trained with FedAvg + gradient grafting.
+	enc, err := dataset.NewEncoder(tab.Schema, 10, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 8, LocalEpochs: 15, Parallel: true,
+		Model: nn.Config{Hidden: []int{64}, Grafting: true, Seed: 7, L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true},
+	})
+	model, err := trainer.Train(parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global model test accuracy: %.3f\n\n", trainer.Evaluate(model, test))
+
+	// 4. Trace: match test instances to related training data via rules.
+	rs := rules.Extract(model, enc)
+	tracer := core.NewTracer(rs, parts, core.Config{TauW: 0.9, Delta: 2})
+	res := tracer.Trace(test)
+
+	// 5. Allocate.
+	micro, macro := res.MicroScores(), res.MacroScores()
+	fmt.Println("contribution scores (single training + tracing pass):")
+	fmt.Printf("  %-12s %8s %8s\n", "participant", "micro", "macro")
+	for i, p := range parts {
+		fmt.Printf("  %-12s %8.4f %8.4f\n", p.Name, micro[i], macro[i])
+	}
+	fmt.Printf("\ngroup rationality: sum(micro)=%.4f = accuracy %.4f − coverage gap %.4f\n",
+		stats.Sum(micro), res.Accuracy(), res.CoverageGap())
+}

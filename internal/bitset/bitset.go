@@ -1,0 +1,252 @@
+// Package bitset provides fixed-width packed bitsets used throughout the
+// repository as rule-activation vectors. A Set of width m records, for one
+// data instance, which of the m rules of a rule-based model fire on it.
+//
+// The hot operations in CTFL's tracing phase are intersection cardinality
+// (how many activated rules two instances share) and weighted intersection;
+// both are implemented with 64-bit words and math/bits popcounts so that a
+// single training-vs-test comparison costs O(m/64).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-width bitset. The zero value is an empty set of width 0;
+// use New to create a set with capacity for a given number of bits.
+type Set struct {
+	words []uint64
+	width int
+}
+
+// New returns a Set able to hold width bits, all initially clear.
+func New(width int) *Set {
+	if width < 0 {
+		panic("bitset: negative width")
+	}
+	return &Set{
+		words: make([]uint64, (width+wordBits-1)/wordBits),
+		width: width,
+	}
+}
+
+// FromIndices returns a Set of the given width with exactly the listed bits set.
+// It panics if an index is out of range.
+func FromIndices(width int, indices ...int) *Set {
+	s := New(width)
+	for _, i := range indices {
+		s.Set(i)
+	}
+	return s
+}
+
+// FromBools returns a Set whose i-th bit mirrors b[i].
+func FromBools(b []bool) *Set {
+	s := New(len(b))
+	for i, v := range b {
+		if v {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// Width reports the number of addressable bits.
+func (s *Set) Width() int { return s.width }
+
+// Set turns bit i on. It panics if i is out of range.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear turns bit i off. It panics if i is out of range.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Test reports whether bit i is set. It panics if i is out of range.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.width {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.width))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectCount returns |s ∩ o|. Both sets must have the same width.
+func (s *Set) IntersectCount(o *Set) int {
+	s.sameWidth(o)
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w & o.words[i])
+	}
+	return n
+}
+
+// ContainsAll reports whether every bit set in o is also set in s (o ⊆ s).
+func (s *Set) ContainsAll(o *Set) bool {
+	s.sameWidth(o)
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o have identical width and bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.width != o.width {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), width: s.width}
+	copy(c.words, s.words)
+	return c
+}
+
+// And sets s = s ∩ o and returns s.
+func (s *Set) And(o *Set) *Set {
+	s.sameWidth(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+	return s
+}
+
+// Or sets s = s ∪ o and returns s.
+func (s *Set) Or(o *Set) *Set {
+	s.sameWidth(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+	return s
+}
+
+// AndNot sets s = s \ o and returns s.
+func (s *Set) AndNot(o *Set) *Set {
+	s.sameWidth(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+	return s
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// WeightedCount returns the sum of weights[i] over all set bits i.
+// len(weights) must be at least the set width.
+func (s *Set) WeightedCount(weights []float64) float64 {
+	if len(weights) < s.width {
+		panic("bitset: weights shorter than width")
+	}
+	sum := 0.0
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sum += weights[base+b]
+			w &= w - 1
+		}
+	}
+	return sum
+}
+
+// WeightedIntersect returns the sum of weights[i] over bits set in both s and o.
+// This is the numerator of CTFL's Eq. (4): w* ⊙ r*(x_tr) · r*(x_te).
+func (s *Set) WeightedIntersect(o *Set, weights []float64) float64 {
+	s.sameWidth(o)
+	if len(weights) < s.width {
+		panic("bitset: weights shorter than width")
+	}
+	sum := 0.0
+	for wi, w := range s.words {
+		w &= o.words[wi]
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sum += weights[base+b]
+			w &= w - 1
+		}
+	}
+	return sum
+}
+
+// Key returns a string usable as a map key identifying the exact bit pattern.
+// Two sets of equal width share a key iff they are Equal.
+func (s *Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words) * 16)
+	for _, w := range s.words {
+		fmt.Fprintf(&b, "%016x", w)
+	}
+	return b.String()
+}
+
+// String renders the set as a bit string, lowest index first, e.g. "10110".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.width)
+	for i := 0; i < s.width; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+func (s *Set) sameWidth(o *Set) {
+	if s.width != o.width {
+		panic(fmt.Sprintf("bitset: width mismatch %d vs %d", s.width, o.width))
+	}
+}

@@ -1,0 +1,302 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Width() != 0 || s.Count() != 0 || s.Any() {
+		t.Fatalf("empty set misbehaves: width=%d count=%d any=%v", s.Width(), s.Count(), s.Any())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative width")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count after clear = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Test(10) },
+		func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected out-of-range panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromIndicesAndIndicesRoundTrip(t *testing.T) {
+	want := []int{2, 5, 63, 64, 99}
+	s := FromIndices(100, want...)
+	if got := s.Indices(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+}
+
+func TestFromBools(t *testing.T) {
+	b := []bool{true, false, true, true, false}
+	s := FromBools(b)
+	if s.Width() != 5 {
+		t.Fatalf("width = %d, want 5", s.Width())
+	}
+	for i, v := range b {
+		if s.Test(i) != v {
+			t.Fatalf("bit %d = %v, want %v", i, s.Test(i), v)
+		}
+	}
+}
+
+func TestIntersectCount(t *testing.T) {
+	a := FromIndices(70, 1, 2, 3, 64, 65)
+	b := FromIndices(70, 2, 3, 4, 65, 69)
+	if got := a.IntersectCount(b); got != 3 {
+		t.Fatalf("IntersectCount = %d, want 3", got)
+	}
+	if got := b.IntersectCount(a); got != 3 {
+		t.Fatalf("IntersectCount not symmetric: %d", got)
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	sup := FromIndices(70, 1, 2, 3, 64)
+	sub := FromIndices(70, 2, 64)
+	if !sup.ContainsAll(sub) {
+		t.Fatal("sup should contain sub")
+	}
+	if sub.ContainsAll(sup) {
+		t.Fatal("sub should not contain sup")
+	}
+	if !sup.ContainsAll(New(70)) {
+		t.Fatal("any set contains the empty set")
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := FromIndices(70, 1, 2, 64)
+	b := FromIndices(70, 2, 3, 64, 69)
+	and := a.Clone().And(b)
+	if got := and.Indices(); !reflect.DeepEqual(got, []int{2, 64}) {
+		t.Fatalf("And = %v", got)
+	}
+	or := a.Clone().Or(b)
+	if got := or.Indices(); !reflect.DeepEqual(got, []int{1, 2, 3, 64, 69}) {
+		t.Fatalf("Or = %v", got)
+	}
+	diff := a.Clone().AndNot(b)
+	if got := diff.Indices(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("AndNot = %v", got)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := FromIndices(70, 1, 64)
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(2)
+	if a.Equal(c) {
+		t.Fatal("mutation of clone affected equality")
+	}
+	if a.Equal(FromIndices(71, 1, 64)) {
+		t.Fatal("different widths must not be equal")
+	}
+}
+
+func TestWeightedCount(t *testing.T) {
+	s := FromIndices(5, 0, 2, 4)
+	w := []float64{1, 10, 100, 1000, 10000}
+	if got := s.WeightedCount(w); got != 10101 {
+		t.Fatalf("WeightedCount = %v, want 10101", got)
+	}
+}
+
+func TestWeightedIntersect(t *testing.T) {
+	a := FromIndices(5, 0, 1, 2)
+	b := FromIndices(5, 1, 2, 3)
+	w := []float64{1, 10, 100, 1000, 10000}
+	if got := a.WeightedIntersect(b, w); got != 110 {
+		t.Fatalf("WeightedIntersect = %v, want 110", got)
+	}
+}
+
+func TestWeightedPanicsOnShortWeights(t *testing.T) {
+	s := New(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short weights")
+		}
+	}()
+	s.WeightedCount([]float64{1})
+}
+
+func TestKeyDistinguishesPatterns(t *testing.T) {
+	a := FromIndices(128, 0)
+	b := FromIndices(128, 64)
+	if a.Key() == b.Key() {
+		t.Fatal("distinct patterns share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("equal patterns have different keys")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(5, 0, 2)
+	if got := s.String(); got != "10100" {
+		t.Fatalf("String = %q, want 10100", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	a, b := New(5), New(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected width-mismatch panic")
+		}
+	}()
+	a.IntersectCount(b)
+}
+
+// randomSet builds a reproducible random set for property tests.
+func randomSet(r *rand.Rand, width int) *Set {
+	s := New(width)
+	for i := 0; i < width; i++ {
+		if r.Intn(2) == 1 {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestPropertyIntersectionMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(200)
+		a, b := randomSet(r, width), randomSet(r, width)
+		naive := 0
+		for i := 0; i < width; i++ {
+			if a.Test(i) && b.Test(i) {
+				naive++
+			}
+		}
+		return a.IntersectCount(b) == naive
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyWeightedIntersectMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(150)
+		a, b := randomSet(r, width), randomSet(r, width)
+		w := make([]float64, width)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		naive := 0.0
+		for i := 0; i < width; i++ {
+			if a.Test(i) && b.Test(i) {
+				naive += w[i]
+			}
+		}
+		got := a.WeightedIntersect(b, w)
+		diff := got - naive
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorganViaAndNot(t *testing.T) {
+	// |a| = |a∩b| + |a\b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(300)
+		a, b := randomSet(r, width), randomSet(r, width)
+		return a.Count() == a.IntersectCount(b)+a.Clone().AndNot(b).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyContainsAllIffIntersectEqualsCount(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(120)
+		a, b := randomSet(r, width), randomSet(r, width)
+		return a.ContainsAll(b) == (a.IntersectCount(b) == b.Count())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectCount512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomSet(r, 512), randomSet(r, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.IntersectCount(y)
+	}
+}
+
+func BenchmarkWeightedIntersect512(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randomSet(r, 512), randomSet(r, 512)
+	w := make([]float64, 512)
+	for i := range w {
+		w[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.WeightedIntersect(y, w)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+// Per-test-instance attribution: the audit-trail view of one tracing
+// decision. Where Profiles aggregates rule activations per participant,
+// Explain answers the question a disputed payout raises — "why did test
+// instance te credit these participants?" — by listing the activated rules,
+// the Eq. 4 threshold arithmetic, and each participant's related counts.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Explanation is the audit record of one test instance's tracing outcome.
+type Explanation struct {
+	TestIndex int
+	Predicted int
+	Truth     int
+	Correct   bool
+	// Case is the paper's tracing case: TP, TN, FP or FN.
+	Case string
+	// ActivatedRules lists the rules of the predicted class side that fired,
+	// with their weights; these are the rules related training data had to
+	// cover (Eq. 4).
+	ActivatedRules []RuleFrequency
+	// SideWeight is the Eq. 4 denominator w*·r*(x_te); Threshold is
+	// tauW · SideWeight, the weighted overlap a training instance needs.
+	SideWeight, Threshold float64
+	// Related[i] is participant i's related training instance count.
+	Related []int
+	// CreditShare[i] is the fraction of this instance's credit (or blame,
+	// for misclassified instances) flowing to participant i.
+	CreditShare []float64
+}
+
+// Explain recomputes the tracing decision for test instance te of the given
+// table (which must be the table the Result was traced on) and returns the
+// audit record.
+func (r *Result) Explain(test *dataset.Table, te int) (*Explanation, error) {
+	if te < 0 || te >= r.TestSize {
+		return nil, fmt.Errorf("core: test index %d out of range [0,%d)", te, r.TestSize)
+	}
+	if test.Len() != r.TestSize {
+		return nil, fmt.Errorf("core: table has %d rows, result traced %d", test.Len(), r.TestSize)
+	}
+	t := r.tracer
+	x := t.rs.Encode(test.Instances[te])
+	side := t.rs.Activations(x).And(t.rs.ClassMask(r.Pred[te]))
+	weights := t.rs.Weights()
+
+	e := &Explanation{
+		TestIndex:  te,
+		Predicted:  r.Pred[te],
+		Truth:      r.Truth[te],
+		Correct:    r.Correct(te),
+		Case:       tracingCase(r.Pred[te], r.Truth[te]),
+		SideWeight: side.WeightedCount(weights),
+		Related:    append([]int{}, r.Counts[te]...),
+	}
+	e.Threshold = t.cfg.TauW * e.SideWeight
+	for _, ri := range side.Indices() {
+		rf := RuleFrequency{RuleIndex: ri, Weight: weights[ri]}
+		if rule, ok := t.rs.RuleByIndex(ri); ok {
+			rf.Expr = rule.Expr
+			rf.Positive = rule.Positive
+		}
+		e.ActivatedRules = append(e.ActivatedRules, rf)
+	}
+	total := 0
+	for _, c := range e.Related {
+		total += c
+	}
+	e.CreditShare = make([]float64, len(e.Related))
+	if total > 0 {
+		for i, c := range e.Related {
+			e.CreditShare[i] = float64(c) / float64(total)
+		}
+	}
+	return e, nil
+}
+
+func tracingCase(pred, truth int) string {
+	switch {
+	case pred == 1 && truth == 1:
+		return "TP"
+	case pred == 0 && truth == 0:
+		return "TN"
+	case pred == 1 && truth == 0:
+		return "FP"
+	default:
+		return "FN"
+	}
+}
+
+// String renders the explanation for reports.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	outcome := "credit"
+	if !e.Correct {
+		outcome = "blame"
+	}
+	fmt.Fprintf(&b, "test instance %d: %s (predicted %d, truth %d)\n",
+		e.TestIndex, e.Case, e.Predicted, e.Truth)
+	fmt.Fprintf(&b, "  activated %s-side rules (weight %.3f, overlap threshold %.3f):\n",
+		sideMark(e.Predicted == 1), e.SideWeight, e.Threshold)
+	for _, rf := range e.ActivatedRules {
+		fmt.Fprintf(&b, "    [w=%.3f] %s\n", rf.Weight, rf.Expr)
+	}
+	fmt.Fprintf(&b, "  %s distribution:\n", outcome)
+	for i, c := range e.Related {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    participant %d: %d related rows -> %.1f%%\n", i, c, e.CreditShare[i]*100)
+	}
+	if sum(e.Related) == 0 {
+		b.WriteString("    (no related training data — uncovered instance)\n")
+	}
+	return b.String()
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainCoveredTP(t *testing.T) {
+	f := buildFig2(t)
+	res := NewTracer(f.rs, f.parts, Config{TauW: 0.6}).Trace(f.test)
+	e, err := res.Explain(f.test, 0) // te0: TP via rule r1 ("f1 = yes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Case != "TP" || !e.Correct {
+		t.Fatalf("case = %s correct = %v", e.Case, e.Correct)
+	}
+	if len(e.ActivatedRules) != 1 || e.ActivatedRules[0].Expr != "f1 = yes" {
+		t.Fatalf("activated rules = %+v", e.ActivatedRules)
+	}
+	if e.SideWeight != 1 || math.Abs(e.Threshold-0.6) > 1e-12 {
+		t.Fatalf("side weight %v threshold %v", e.SideWeight, e.Threshold)
+	}
+	if e.Related[0] != 4 || e.Related[2] != 2 {
+		t.Fatalf("related = %v", e.Related)
+	}
+	if math.Abs(e.CreditShare[0]-4.0/6) > 1e-12 || math.Abs(e.CreditShare[2]-2.0/6) > 1e-12 {
+		t.Fatalf("shares = %v", e.CreditShare)
+	}
+	out := e.String()
+	for _, want := range []string{"TP", "f1 = yes", "66.7%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainUncoveredFN(t *testing.T) {
+	f := buildFig2(t)
+	res := NewTracer(f.rs, f.parts, Config{TauW: 0.6}).Trace(f.test)
+	e, err := res.Explain(f.test, 1) // te1: FN, nothing activated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Case != "FN" || e.Correct {
+		t.Fatalf("case = %s", e.Case)
+	}
+	if len(e.ActivatedRules) != 0 || e.SideWeight != 0 {
+		t.Fatalf("expected empty activation: %+v", e)
+	}
+	if !strings.Contains(e.String(), "uncovered") {
+		t.Fatalf("String should note uncovered instance:\n%s", e.String())
+	}
+}
+
+func TestExplainBlameCase(t *testing.T) {
+	f := buildFig2(t)
+	res := NewTracer(f.rs, f.parts, Config{TauW: 0.6}).Trace(f.test)
+	e, err := res.Explain(f.test, 3) // te3: FN via r3, blame on B
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Case != "FN" {
+		t.Fatalf("case = %s", e.Case)
+	}
+	if e.Related[1] != 6 || e.CreditShare[1] != 1 {
+		t.Fatalf("blame should land on B: %v %v", e.Related, e.CreditShare)
+	}
+	if !strings.Contains(e.String(), "blame") {
+		t.Fatalf("String should say blame:\n%s", e.String())
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	f := buildFig2(t)
+	res := NewTracer(f.rs, f.parts, Config{TauW: 0.6}).Trace(f.test)
+	if _, err := res.Explain(f.test, 99); err == nil {
+		t.Fatal("out-of-range index should error")
+	}
+	short := f.test.Subset([]int{0})
+	if _, err := res.Explain(short, 0); err == nil {
+		t.Fatal("table size mismatch should error")
+	}
+}
+
+func TestTracingCaseNames(t *testing.T) {
+	cases := map[[2]int]string{
+		{1, 1}: "TP", {0, 0}: "TN", {1, 0}: "FP", {0, 1}: "FN",
+	}
+	for k, want := range cases {
+		if got := tracingCase(k[0], k[1]); got != want {
+			t.Fatalf("tracingCase(%d,%d) = %s, want %s", k[0], k[1], got, want)
+		}
+	}
+}

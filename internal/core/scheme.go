@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rules"
+)
+
+// Variant selects CTFL's allocation scheme.
+type Variant int
+
+// Allocation variants.
+const (
+	Micro Variant = iota // Eq. 5, size-proportional
+	Macro                // Eq. 6, replication-robust
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Micro:
+		return "micro"
+	case Macro:
+		return "macro"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Scheme is the end-to-end CTFL contribution estimator: one FedAvg training
+// pass over all participants, one rule extraction, one tracing pass, one
+// allocation. It satisfies the valuation.Scheme interface.
+type Scheme struct {
+	Variant Variant
+	Trainer *fl.Trainer
+	Cfg     Config
+}
+
+// Name implements the valuation scheme naming convention of the paper's
+// figures (CTFL_micro / CTFL_macro).
+func (s *Scheme) Name() string {
+	return "CTFL-" + s.Variant.String()
+}
+
+// Run executes the full pipeline and returns every intermediate artifact:
+// the trained global model, the extracted rule set, and the tracing result
+// (from which scores, profiles and robustness reports all derive).
+func (s *Scheme) Run(parts []*fl.Participant, test *dataset.Table) (*nn.Model, *rules.Set, *Result, error) {
+	if s.Trainer == nil {
+		return nil, nil, nil, fmt.Errorf("core: Scheme needs a Trainer")
+	}
+	model, err := s.Trainer.Train(parts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rs := rules.Extract(model, s.Trainer.Encoder())
+	tracer := NewTracer(rs, parts, s.Cfg)
+	res := tracer.Trace(test)
+	return model, rs, res, nil
+}
+
+// Scores trains, traces and allocates in one call.
+func (s *Scheme) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
+	_, _, res, err := s.Run(parts, test)
+	if err != nil {
+		return nil, err
+	}
+	if s.Variant == Macro {
+		return res.MacroScores(), nil
+	}
+	return res.MicroScores(), nil
+}

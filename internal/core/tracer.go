@@ -1,0 +1,414 @@
+// Package core implements CTFL — Contribution Tracing for Federated
+// Learning — the paper's primary contribution. Given a single rule-based
+// global model trained on all participants' data, the tracer matches every
+// test instance to the training data that learned its activated rules
+// (Eq. 4), the allocators convert those matches into micro (Eq. 5) and macro
+// (Eq. 6) contribution scores, the loss tracer flags label-flipping attacks,
+// and the interpreter summarizes each participant's beneficial and harmful
+// characteristics through frequently activated rules.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/fpm"
+	"repro/internal/rules"
+)
+
+// Config controls tracing.
+type Config struct {
+	// TauW is the activation-overlap threshold of Eq. 4 in (0, 1]. The paper
+	// recommends values near 1.0 for rule-rich datasets and defaults the
+	// range to [0.8, 1]. Default 0.9.
+	TauW float64
+	// Delta is the macro scheme's minimum related-instance count (Eq. 6).
+	// Default 2.
+	Delta int
+	// Grouping enables the Max-Miner grouped fast path for large datasets
+	// (Section III-C, "Efficient Computation of CTFL").
+	Grouping bool
+	// GroupMinSupport is the minimum support fraction for Max-Miner groups.
+	// Default 0.05.
+	GroupMinSupport float64
+	// Workers bounds tracing parallelism; 0 means a small default.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TauW == 0 {
+		c.TauW = 0.9
+	}
+	if c.Delta == 0 {
+		c.Delta = 2
+	}
+	if c.GroupMinSupport == 0 {
+		c.GroupMinSupport = 0.05
+	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	return c
+}
+
+// Tracer matches test instances against the training data of a federation
+// through the activated rules of a trained rule-based model.
+type Tracer struct {
+	cfg Config
+	rs  *rules.Set
+
+	numParts int
+	// Per training instance: owner participant index, label, and class-side
+	// activation bitset (restricted to the rules supporting its own label).
+	trainOwner []int
+	trainLabel []int
+	trainActs  []*bitset.Set
+	// trainByLabel[l] lists training indices with label l.
+	trainByLabel [2][]int
+}
+
+// TrainingUpload is one training instance's contribution to the tracing
+// index, as a participant would upload it to the federation: the owner's
+// participant index, the instance label, and the full rule-activation
+// bitset. No raw feature values appear — this is the paper's privacy
+// protocol made explicit (see also internal/protocol for the wire format).
+type TrainingUpload struct {
+	Owner       int
+	Label       int
+	Activations *bitset.Set
+}
+
+// NewTracer indexes the participants' training data under the extracted rule
+// set. Participants are identified by their slice position, matching the
+// score vectors returned by the allocators. Only the participants' rule
+// activation vectors are consumed — never raw feature values.
+func NewTracer(rs *rules.Set, parts []*fl.Participant, cfg Config) *Tracer {
+	var uploads []TrainingUpload
+	for pi, p := range parts {
+		acts, _ := rs.ActivationsTable(p.Data)
+		for i, a := range acts {
+			uploads = append(uploads, TrainingUpload{
+				Owner:       pi,
+				Label:       p.Data.Instances[i].Label,
+				Activations: a,
+			})
+		}
+	}
+	return NewTracerFromUploads(rs, len(parts), uploads, cfg)
+}
+
+// NewTracerFromUploads builds a tracer directly from uploaded activation
+// vectors — the entry point a real federation server would use after
+// decoding participants' protocol messages. Upload activation sets are
+// owned by the tracer afterwards (they are masked in place).
+func NewTracerFromUploads(rs *rules.Set, numParts int, uploads []TrainingUpload, cfg Config) *Tracer {
+	cfg = cfg.withDefaults()
+	if cfg.TauW <= 0 || cfg.TauW > 1 {
+		panic(fmt.Sprintf("core: TauW must be in (0,1], got %v", cfg.TauW))
+	}
+	t := &Tracer{cfg: cfg, rs: rs, numParts: numParts}
+	for _, u := range uploads {
+		if u.Owner < 0 || u.Owner >= numParts {
+			panic(fmt.Sprintf("core: upload owner %d out of range [0,%d)", u.Owner, numParts))
+		}
+		if u.Label != 0 && u.Label != 1 {
+			panic(fmt.Sprintf("core: upload label %d invalid", u.Label))
+		}
+		side := u.Activations.And(rs.ClassMask(u.Label))
+		idx := len(t.trainActs)
+		t.trainOwner = append(t.trainOwner, u.Owner)
+		t.trainLabel = append(t.trainLabel, u.Label)
+		t.trainActs = append(t.trainActs, side)
+		t.trainByLabel[u.Label] = append(t.trainByLabel[u.Label], idx)
+	}
+	return t
+}
+
+// NumParticipants returns the number of indexed participants.
+func (t *Tracer) NumParticipants() int { return t.numParts }
+
+// NumTraining returns the number of indexed training instances.
+func (t *Tracer) NumTraining() int { return len(t.trainActs) }
+
+// Config returns the tracer's effective configuration.
+func (t *Tracer) Config() Config { return t.cfg }
+
+// Rules returns the rule set the tracer operates on.
+func (t *Tracer) Rules() *rules.Set { return t.rs }
+
+// TrainOwner returns the participant index owning training instance j.
+func (t *Tracer) TrainOwner(j int) int { return t.trainOwner[j] }
+
+// Result holds one tracing pass over a test set. All per-test slices are
+// indexed by test-instance position.
+type Result struct {
+	NumParticipants int
+	TestSize        int
+	// Pred and Truth are the model's predictions and the true labels.
+	Pred, Truth []int
+	// Counts[te][i] = |D_i ∩ ct(x_te)| — participant i's related training
+	// instances for test instance te (Eq. 4, traced on the predicted side,
+	// which covers all four TP/TN/FP/FN cases of Section III-C).
+	// Rows of test instances with identical activation patterns share the
+	// same backing slice; treat Counts as read-only.
+	Counts [][]int
+	// TrainMatched[j] counts how many test instances training instance j was
+	// related to (drives the useless-data ratio).
+	TrainMatched []int
+
+	tracer *Tracer
+	// beneficialFreq[i][r] accumulates weighted rule-activation credit of
+	// rule r for participant i over correctly classified matches;
+	// harmfulFreq likewise over misclassifications.
+	beneficialFreq []map[int]float64
+	harmfulFreq    []map[int]float64
+	// uncoveredRuleFreq[r] accumulates weighted activations over
+	// misclassified test instances with insufficient related data — the
+	// data-collection guidance signal of Section IV-B.
+	uncoveredRuleFreq map[int]float64
+}
+
+// Correct reports whether test instance te was classified correctly.
+func (r *Result) Correct(te int) bool { return r.Pred[te] == r.Truth[te] }
+
+// patternGroup clusters test instances sharing one predicted-side
+// activation pattern; tracing is a pure function of the pattern, so each is
+// traced once.
+type patternGroup struct {
+	rep     int // representative test index
+	members []int
+}
+
+// traceOut is the per-pattern tracing result.
+type traceOut struct {
+	counts  []int
+	matched []int // training indices that passed Eq. 4
+}
+
+// Trace runs the full tracing pass of Section III-C over the test table:
+// for each test instance it determines the related training instances on
+// the predicted-class side (TP/TN for correct predictions earn credit,
+// FP/FN feed the loss analysis) and accumulates interpretability counters.
+func (t *Tracer) Trace(test *dataset.Table) *Result {
+	acts, pred := t.rs.ActivationsTable(test)
+	res := &Result{
+		NumParticipants:   t.numParts,
+		TestSize:          test.Len(),
+		Pred:              pred,
+		Truth:             make([]int, test.Len()),
+		Counts:            make([][]int, test.Len()),
+		TrainMatched:      make([]int, len(t.trainActs)),
+		tracer:            t,
+		beneficialFreq:    newFreqMaps(t.numParts),
+		harmfulFreq:       newFreqMaps(t.numParts),
+		uncoveredRuleFreq: make(map[int]float64),
+	}
+	for i, in := range test.Instances {
+		res.Truth[i] = in.Label
+	}
+
+	weights := t.rs.Weights()
+	sideActs := make([]*bitset.Set, test.Len())
+	sideWeight := make([]float64, test.Len())
+	for i, a := range acts {
+		side := a.Clone().And(t.rs.ClassMask(pred[i]))
+		sideActs[i] = side
+		sideWeight[i] = side.WeightedCount(weights)
+	}
+
+	// Dedupe identical (predicted label, side pattern) groups.
+	byKey := map[string]*patternGroup{}
+	var order []*patternGroup
+	for i := range sideActs {
+		key := fmt.Sprintf("%d|%s", pred[i], sideActs[i].Key())
+		g, ok := byKey[key]
+		if !ok {
+			g = &patternGroup{rep: i}
+			byKey[key] = g
+			order = append(order, g)
+		}
+		g.members = append(g.members, i)
+	}
+
+	candidates := t.candidateSets(order, sideActs, pred)
+
+	outs := make([]traceOut, len(order))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, t.cfg.Workers)
+	for gi, g := range order {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(gi int, g *patternGroup) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outs[gi] = t.traceOne(sideActs[g.rep], sideWeight[g.rep], pred[g.rep], candidatePool(candidates, gi))
+		}(gi, g)
+	}
+	wg.Wait()
+
+	for gi, g := range order {
+		out := outs[gi]
+		for _, te := range g.members {
+			res.Counts[te] = out.counts
+			for _, j := range out.matched {
+				res.TrainMatched[j]++
+			}
+			trueSide := acts[te].Clone().And(t.rs.ClassMask(res.Truth[te]))
+			t.accumulate(res, te, sideActs[te], trueSide, out)
+		}
+	}
+	return res
+}
+
+// TraceActivations runs Eq. 4 for one explicit class-side activation set:
+// it returns the per-participant related-instance counts among training
+// uploads of the given label. This is the low-level primitive used by the
+// one-vs-rest multi-class extension (internal/multiclass), which supplies
+// its own prediction logic and therefore cannot use Trace directly.
+func (t *Tracer) TraceActivations(side *bitset.Set, label int) []int {
+	denom := side.WeightedCount(t.rs.Weights())
+	return t.traceOne(side, denom, label, nil).counts
+}
+
+// traceOne computes Eq. 4 for one activation pattern: related training
+// instances are those in the predicted class whose class-side activations
+// cover at least TauW of the pattern's weighted activations.
+func (t *Tracer) traceOne(side *bitset.Set, denom float64, label int, pool []int) traceOut {
+	counts := make([]int, t.numParts)
+	var matched []int
+	if denom <= 0 {
+		return traceOut{counts: counts}
+	}
+	if pool == nil {
+		pool = t.trainByLabel[label]
+	}
+	weights := t.rs.Weights()
+	need := t.cfg.TauW*denom - 1e-12
+	for _, j := range pool {
+		if t.trainLabel[j] != label {
+			continue
+		}
+		if t.trainActs[j].WeightedIntersect(side, weights) >= need {
+			counts[t.trainOwner[j]]++
+			matched = append(matched, j)
+		}
+	}
+	return traceOut{counts: counts, matched: matched}
+}
+
+func candidatePool(candidates [][]int, gi int) []int {
+	if candidates == nil {
+		return nil
+	}
+	return candidates[gi]
+}
+
+// accumulate updates the interpretability counters for one test instance.
+func (t *Tracer) accumulate(res *Result, te int, side, trueSide *bitset.Set, out traceOut) {
+	weights := t.rs.Weights()
+	correct := res.Pred[te] == res.Truth[te]
+	totalRelated := 0
+	for _, c := range out.counts {
+		totalRelated += c
+	}
+	// Weighted rule activation counts per participant (Section IV-B):
+	// rules with higher weights are prioritized.
+	for _, ri := range side.Indices() {
+		w := weights[ri]
+		for pi, c := range out.counts {
+			if c == 0 {
+				continue
+			}
+			credit := w * float64(c)
+			if correct {
+				res.beneficialFreq[pi][ri] += credit
+			} else {
+				res.harmfulFreq[pi][ri] += credit
+			}
+		}
+	}
+	// Misclassified with insufficient coverage → record the true-class rules
+	// that fired without training support, to guide data collection.
+	if !correct && totalRelated < t.cfg.Delta {
+		for _, ri := range trueSide.Indices() {
+			res.uncoveredRuleFreq[ri] += weights[ri]
+		}
+	}
+}
+
+// candidateSets computes, per pattern group, a pruned candidate list of
+// training indices using Max-Miner frequent rule subsets: patterns are
+// clustered by shared frequent rule subsets, and for each cluster only
+// training instances overlapping the cluster's activation union enough to
+// possibly pass Eq. 4 are kept. The filter is sound (a superset of the true
+// related set); the exact per-instance check still runs afterwards. Returns
+// nil when grouping is disabled.
+func (t *Tracer) candidateSets(order []*patternGroup, sideActs []*bitset.Set, pred []int) [][]int {
+	if !t.cfg.Grouping {
+		return nil
+	}
+	reps := make([]*bitset.Set, len(order))
+	for gi, g := range order {
+		reps[gi] = sideActs[g.rep]
+	}
+	minSup := int(t.cfg.GroupMinSupport * float64(len(reps)))
+	if minSup < 2 {
+		minSup = 2
+	}
+	miner := fpm.NewMinerFromSets(reps, t.rs.Width())
+	maximal := miner.MaximalFrequent(minSup)
+	cluster := fpm.GroupByMaximal(reps, maximal)
+
+	weights := t.rs.Weights()
+	type cl struct {
+		union *bitset.Set
+		minW  float64
+		gids  []int
+	}
+	clusters := map[int]*cl{}
+	for gi := range order {
+		ci := cluster[gi]
+		c, ok := clusters[ci]
+		if !ok {
+			c = &cl{union: bitset.New(t.rs.Width()), minW: -1}
+			clusters[ci] = c
+		}
+		c.union.Or(reps[gi])
+		w := reps[gi].WeightedCount(weights)
+		if c.minW < 0 || w < c.minW {
+			c.minW = w
+		}
+		c.gids = append(c.gids, gi)
+	}
+
+	out := make([][]int, len(order))
+	for _, c := range clusters {
+		// A training instance related to member te must overlap act(te) by
+		// >= tauW*weight(te) >= tauW*minW, and act(te) ⊆ union, so its
+		// overlap with the union is at least that much too.
+		need := t.cfg.TauW*c.minW - 1e-12
+		var keep [2][]int
+		for label := 0; label < 2; label++ {
+			for _, j := range t.trainByLabel[label] {
+				if t.trainActs[j].WeightedIntersect(c.union, weights) >= need {
+					keep[label] = append(keep[label], j)
+				}
+			}
+		}
+		for _, gi := range c.gids {
+			out[gi] = keep[pred[order[gi].rep]]
+		}
+	}
+	return out
+}
+
+func newFreqMaps(n int) []map[int]float64 {
+	out := make([]map[int]float64, n)
+	for i := range out {
+		out[i] = make(map[int]float64)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package dataset
+
+// CSV import/export. The synthetic generators make the repository
+// self-contained, but a downstream deployment will have the real UCI/Kaggle
+// files; ReadCSV loads them against a declared schema (values outside a
+// discrete feature's category list map to the unknown slot, exactly as the
+// paper's federation-fixed encoding prescribes), and WriteCSV round-trips
+// generated tables for external tooling.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls parsing.
+type CSVOptions struct {
+	// HasHeader skips (and validates, when non-strict) the first row.
+	HasHeader bool
+	// PositiveLabel is the string of class 1; any other value is class 0.
+	PositiveLabel string
+	// TrimSpace trims cells before interpretation.
+	TrimSpace bool
+	// ClampContinuous clips out-of-domain continuous values into the
+	// schema's [Min, Max] instead of failing.
+	ClampContinuous bool
+}
+
+// ReadCSV parses rows of the form feature1,...,featureN,label against the
+// schema. Discrete cells are matched case-insensitively to the category
+// list; unmatched values become the unknown category (-1).
+func ReadCSV(r io.Reader, schema *Schema, opts CSVOptions) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumFeatures() + 1
+	t := &Table{Schema: schema}
+
+	// Pre-index categories for O(1) lookup.
+	catIdx := make([]map[string]int, schema.NumFeatures())
+	for j, f := range schema.Features {
+		if f.Kind != Discrete {
+			continue
+		}
+		m := make(map[string]int, len(f.Categories))
+		for ci, c := range f.Categories {
+			m[strings.ToLower(c)] = ci
+		}
+		catIdx[j] = m
+	}
+
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && opts.HasHeader {
+			continue
+		}
+		vals := make([]float64, schema.NumFeatures())
+		for j, f := range schema.Features {
+			cell := rec[j]
+			if opts.TrimSpace {
+				cell = strings.TrimSpace(cell)
+			}
+			switch f.Kind {
+			case Discrete:
+				if ci, ok := catIdx[j][strings.ToLower(cell)]; ok {
+					vals[j] = float64(ci)
+				} else {
+					vals[j] = -1 // unknown slot
+				}
+			case Continuous:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: csv line %d, feature %q: %w", line, f.Name, err)
+				}
+				if v < f.Min || v > f.Max {
+					if !opts.ClampContinuous {
+						return nil, fmt.Errorf("dataset: csv line %d, feature %q: value %v outside [%v,%v]",
+							line, f.Name, v, f.Min, f.Max)
+					}
+					if v < f.Min {
+						v = f.Min
+					} else {
+						v = f.Max
+					}
+				}
+				vals[j] = v
+			}
+		}
+		labelCell := rec[schema.NumFeatures()]
+		if opts.TrimSpace {
+			labelCell = strings.TrimSpace(labelCell)
+		}
+		label := 0
+		if strings.EqualFold(labelCell, opts.PositiveLabel) {
+			label = 1
+		}
+		t.Instances = append(t.Instances, Instance{Values: vals, Label: label})
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table with a header row; discrete values are written
+// as their category names (unknown as "?"), labels as schema.Labels strings.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, t.Schema.NumFeatures()+1)
+	for _, f := range t.Schema.Features {
+		header = append(header, f.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, in := range t.Instances {
+		for j, f := range t.Schema.Features {
+			switch f.Kind {
+			case Discrete:
+				ci := int(in.Values[j])
+				if ci >= 0 && ci < len(f.Categories) {
+					rec[j] = f.Categories[ci]
+				} else {
+					rec[j] = "?"
+				}
+			case Continuous:
+				rec[j] = strconv.FormatFloat(in.Values[j], 'g', -1, 64)
+			}
+		}
+		rec[len(rec)-1] = t.Schema.Labels[in.Label]
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,102 @@
+package dataset
+
+// JSON serialization for Schema and Encoder. The federation fixes the
+// predicate encoding once (category lists, threshold bounds) and every
+// party — and any scoring service — must use the identical encoding, so the
+// encoder needs a portable form. JSON keeps it auditable: the bounds ARE
+// the privacy story (they are sampled from public domains, not data).
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// encoderJSON is the wire form of an Encoder.
+type encoderJSON struct {
+	Schema *Schema     `json:"schema"`
+	TauD   int         `json:"tau_d"`
+	Lower  [][]float64 `json:"lower"`
+	Upper  [][]float64 `json:"upper"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e *Encoder) MarshalJSON() ([]byte, error) {
+	return json.Marshal(encoderJSON{
+		Schema: e.schema,
+		TauD:   e.tauD,
+		Lower:  e.lower,
+		Upper:  e.upper,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, rebuilding the derived
+// predicate names and offsets.
+func (e *Encoder) UnmarshalJSON(data []byte) error {
+	var w encoderJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dataset: decoding encoder: %w", err)
+	}
+	if w.Schema == nil {
+		return fmt.Errorf("dataset: encoder JSON missing schema")
+	}
+	if err := w.Schema.Validate(); err != nil {
+		return err
+	}
+	if w.TauD < 1 {
+		return fmt.Errorf("dataset: encoder JSON has tau_d %d", w.TauD)
+	}
+	rebuilt, err := rebuildEncoder(w.Schema, w.TauD, w.Lower, w.Upper)
+	if err != nil {
+		return err
+	}
+	*e = *rebuilt
+	return nil
+}
+
+// rebuildEncoder reconstructs an Encoder from explicit bounds, validating
+// shapes against the schema.
+func rebuildEncoder(schema *Schema, tauD int, lower, upper [][]float64) (*Encoder, error) {
+	if len(lower) != schema.NumFeatures() || len(upper) != schema.NumFeatures() {
+		return nil, fmt.Errorf("dataset: bounds cover %d/%d features, schema has %d",
+			len(lower), len(upper), schema.NumFeatures())
+	}
+	e := &Encoder{
+		schema:  schema,
+		tauD:    tauD,
+		offsets: make([]int, schema.NumFeatures()+1),
+		lower:   make([][]float64, schema.NumFeatures()),
+		upper:   make([][]float64, schema.NumFeatures()),
+	}
+	w := 0
+	for j, f := range schema.Features {
+		e.offsets[j] = w
+		switch f.Kind {
+		case Discrete:
+			if len(lower[j]) != 0 || len(upper[j]) != 0 {
+				return nil, fmt.Errorf("dataset: discrete feature %q has threshold bounds", f.Name)
+			}
+			for _, c := range f.Categories {
+				e.names = append(e.names, fmt.Sprintf("%s = %s", f.Name, c))
+			}
+			e.names = append(e.names, fmt.Sprintf("%s = <unknown>", f.Name))
+			w += len(f.Categories) + 1
+		case Continuous:
+			if len(lower[j]) != tauD || len(upper[j]) != tauD {
+				return nil, fmt.Errorf("dataset: feature %q has %d/%d bounds, want %d",
+					f.Name, len(lower[j]), len(upper[j]), tauD)
+			}
+			e.lower[j] = append([]float64(nil), lower[j]...)
+			e.upper[j] = append([]float64(nil), upper[j]...)
+			for k := 0; k < tauD; k++ {
+				e.names = append(e.names, fmt.Sprintf("%s > %s", f.Name, formatBound(lower[j][k])))
+			}
+			for k := 0; k < tauD; k++ {
+				e.names = append(e.names, fmt.Sprintf("%s < %s", f.Name, formatBound(upper[j][k])))
+			}
+			w += 2 * tauD
+		}
+	}
+	e.offsets[len(schema.Features)] = w
+	e.width = w
+	return e, nil
+}

@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestEncoderJSONRoundTrip(t *testing.T) {
+	schema := BankSchema()
+	orig, err := NewEncoder(schema, 6, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Encoder
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Width() != orig.Width() {
+		t.Fatalf("width %d vs %d", back.Width(), orig.Width())
+	}
+	for i := 0; i < orig.Width(); i++ {
+		if back.PredicateName(i) != orig.PredicateName(i) {
+			t.Fatalf("predicate %d renamed: %q vs %q", i, back.PredicateName(i), orig.PredicateName(i))
+		}
+	}
+	// Encoding equivalence on real rows.
+	tab := Bank(stats.NewRNG(4), 100)
+	for _, in := range tab.Instances {
+		a := orig.Encode(in, nil)
+		b := back.Encode(in, nil)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("encodings diverge after JSON round trip")
+			}
+		}
+	}
+}
+
+func TestEncoderJSONValidation(t *testing.T) {
+	var e Encoder
+	for _, bad := range []string{
+		`{}`,
+		`{"schema":{"Name":"x"},"tau_d":3}`,
+		`{"schema":{"Name":"x","Features":[{"Name":"c","Kind":1,"Min":0,"Max":1}],"Labels":["a","b"]},"tau_d":0}`,
+		// Wrong bound count for the continuous feature.
+		`{"schema":{"Name":"x","Features":[{"Name":"c","Kind":1,"Min":0,"Max":1}],"Labels":["a","b"]},"tau_d":3,"lower":[[0.5]],"upper":[[0.5]]}`,
+		// Bounds attached to a discrete feature.
+		`{"schema":{"Name":"x","Features":[{"Name":"d","Kind":0,"Categories":["a"]}],"Labels":["a","b"]},"tau_d":1,"lower":[[0.5]],"upper":[[0.5]]}`,
+		`not json`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &e); err == nil {
+			t.Fatalf("input %q should fail", bad)
+		}
+	}
+}

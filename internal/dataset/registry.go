@@ -1,0 +1,79 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Info summarizes a named benchmark generator for the CLI and experiments.
+type Info struct {
+	Name        string
+	FullSize    int    // row count of the original dataset
+	FeatureNote string // matches Table IV of the paper
+	// Generate produces n rows; n <= 0 means the dataset's natural size
+	// (relevant for tic-tac-toe, whose size is fixed at 958).
+	Generate func(r *rand.Rand, n int) *Table
+}
+
+// Benchmarks lists the paper's four evaluation datasets (Table IV).
+func Benchmarks() []Info {
+	return []Info{
+		{
+			Name:        "tic-tac-toe",
+			FullSize:    958,
+			FeatureNote: "9 discrete",
+			Generate: func(_ *rand.Rand, _ int) *Table {
+				return TicTacToe()
+			},
+		},
+		{
+			Name:        "adult",
+			FullSize:    AdultSize,
+			FeatureNote: "14 mixed",
+			Generate: func(r *rand.Rand, n int) *Table {
+				if n <= 0 {
+					n = AdultSize
+				}
+				return Adult(r, n)
+			},
+		},
+		{
+			Name:        "bank",
+			FullSize:    BankSize,
+			FeatureNote: "16 mixed",
+			Generate: func(r *rand.Rand, n int) *Table {
+				if n <= 0 {
+					n = BankSize
+				}
+				return Bank(r, n)
+			},
+		},
+		{
+			Name:        "dota2",
+			FullSize:    Dota2Size,
+			FeatureNote: "116 discrete",
+			Generate: func(r *rand.Rand, n int) *Table {
+				if n <= 0 {
+					n = Dota2Size
+				}
+				return Dota2(r, n)
+			},
+		},
+	}
+}
+
+// ByName returns the named benchmark generator.
+func ByName(name string) (Info, error) {
+	for _, b := range Benchmarks() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	var names []string
+	for _, b := range Benchmarks() {
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+	return Info{}, fmt.Errorf("dataset: unknown benchmark %q (have %v)", name, names)
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import "sort"
+
+// TicTacToe regenerates the UCI tic-tac-toe endgame benchmark exactly: the
+// complete set of legal board configurations at the end of tic-tac-toe games
+// where player x moves first. Each of the nine cells is a discrete feature
+// with values {x, o, b}; the positive class is "x wins". The enumeration
+// yields the canonical 958 instances (65.3% positive), so no download is
+// needed — the dataset is a mathematical object.
+func TicTacToe() *Table {
+	schema := &Schema{
+		Name:   "tic-tac-toe",
+		Labels: [2]string{"o-side", "x-wins"},
+	}
+	cellNames := []string{
+		"top-left", "top-middle", "top-right",
+		"middle-left", "middle-middle", "middle-right",
+		"bottom-left", "bottom-middle", "bottom-right",
+	}
+	for _, n := range cellNames {
+		schema.Features = append(schema.Features, Feature{
+			Name:       n,
+			Kind:       Discrete,
+			Categories: []string{"x", "o", "b"},
+		})
+	}
+
+	seen := make(map[[9]int8]bool)
+	var boards [][9]int8
+
+	// Cells: 0 empty(b), 1 x, 2 o. x moves first. A game ends immediately
+	// when a player completes a line, or when the board is full.
+	var play func(board [9]int8, turn int8)
+	play = func(board [9]int8, turn int8) {
+		full := true
+		for pos := 0; pos < 9; pos++ {
+			if board[pos] != 0 {
+				continue
+			}
+			full = false
+			board[pos] = turn
+			if wins(board, turn) || boardFull(board) {
+				if !seen[board] {
+					seen[board] = true
+					boards = append(boards, board)
+				}
+			} else {
+				play(board, 3-turn)
+			}
+			board[pos] = 0
+		}
+		_ = full
+	}
+	play([9]int8{}, 1)
+
+	// Deterministic order: sort boards lexicographically so repeated calls
+	// produce identical tables.
+	sort.Slice(boards, func(a, b int) bool {
+		for i := 0; i < 9; i++ {
+			if boards[a][i] != boards[b][i] {
+				return boards[a][i] < boards[b][i]
+			}
+		}
+		return false
+	})
+
+	t := &Table{Schema: schema}
+	for _, b := range boards {
+		vals := make([]float64, 9)
+		for i, c := range b {
+			// category order matches schema: x=0, o=1, b=2
+			switch c {
+			case 1:
+				vals[i] = 0
+			case 2:
+				vals[i] = 1
+			default:
+				vals[i] = 2
+			}
+		}
+		label := 0
+		if wins(b, 1) {
+			label = 1
+		}
+		t.Instances = append(t.Instances, Instance{Values: vals, Label: label})
+	}
+	return t
+}
+
+var lines = [8][3]int{
+	{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, // rows
+	{0, 3, 6}, {1, 4, 7}, {2, 5, 8}, // columns
+	{0, 4, 8}, {2, 4, 6}, // diagonals
+}
+
+func wins(b [9]int8, player int8) bool {
+	for _, l := range lines {
+		if b[l[0]] == player && b[l[1]] == player && b[l[2]] == player {
+			return true
+		}
+	}
+	return false
+}
+
+func boardFull(b [9]int8) bool {
+	for _, c := range b {
+		if c == 0 {
+			return false
+		}
+	}
+	return true
+}

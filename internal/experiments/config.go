@@ -1,0 +1,231 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section VI): the Table II motivating example, the Fig. 4
+// remove-top-contributors accuracy curves, the Fig. 5 execution-time
+// comparison, the Fig. 6 robustness study, and the Fig. 7 / Table V
+// interpretability case studies. Each experiment is a pure function from a
+// Workload to a printable result, so the CLI, the benchmarks and the tests
+// all share one implementation.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// Workload describes one experimental configuration.
+type Workload struct {
+	// Dataset is one of the registry names: tic-tac-toe, adult, bank, dota2.
+	Dataset string
+	// Rows caps the generated dataset size; 0 means the paper's full size.
+	// (tic-tac-toe is always its natural 958 rows.)
+	Rows int
+	// Participants is the federation size (paper default 8).
+	Participants int
+	// Alpha is the Dirichlet skew parameter (paper range [0.6, 1]).
+	Alpha float64
+	// SkewLabel selects the skew-label partitioner; false means skew-sample.
+	SkewLabel bool
+	// TestFrac is the share of rows reserved by the federation (default 0.2).
+	TestFrac float64
+	// Seed drives every random choice in the workload.
+	Seed int64
+
+	// TauW is CTFL's tracing threshold (default 0.9).
+	TauW float64
+	// Delta is CTFL's macro threshold (default 2).
+	Delta int
+	// Rounds / LocalEpochs / Hidden configure FedAvg training; zero values
+	// take dataset-appropriate defaults.
+	Rounds      int
+	LocalEpochs int
+	Hidden      int
+	// TauD is the binarization-layer dimension (default 10, per the paper).
+	TauD int
+	// L1Logic prunes rule operands (default 2e-4); L2Head bounds rule
+	// importance weights (default 1e-3). Together they keep extracted rules
+	// crisp under FedAvg averaging. Set negative to disable.
+	L1Logic float64
+	L2Head  float64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.Participants == 0 {
+		w.Participants = 8
+	}
+	if w.Alpha == 0 {
+		w.Alpha = 0.8
+	}
+	if w.TestFrac == 0 {
+		w.TestFrac = 0.2
+	}
+	if w.TauW == 0 {
+		w.TauW = 0.9
+	}
+	if w.Delta == 0 {
+		w.Delta = 2
+	}
+	if w.Rounds == 0 {
+		w.Rounds = 2
+	}
+	if w.LocalEpochs == 0 {
+		w.LocalEpochs = 10
+	}
+	if w.Hidden == 0 {
+		w.Hidden = 64
+	}
+	if w.TauD == 0 {
+		w.TauD = 10
+	}
+	switch {
+	case w.L1Logic == 0:
+		w.L1Logic = 2e-4
+	case w.L1Logic < 0:
+		w.L1Logic = 0
+	}
+	switch {
+	case w.L2Head == 0:
+		w.L2Head = 1e-3
+	case w.L2Head < 0:
+		w.L2Head = 0
+	}
+	return w
+}
+
+// QuickWorkload returns a laptop-scale workload for the named dataset with
+// row counts small enough for interactive runs and CI, preserving the
+// paper's participant count and skew defaults.
+func QuickWorkload(name string, skewLabel bool, seed int64) Workload {
+	w := Workload{Dataset: name, SkewLabel: skewLabel, Seed: seed}
+	switch name {
+	case "tic-tac-toe":
+		w.Rows = 0 // natural size
+	case "dota2":
+		w.Rows = 1500
+	default:
+		w.Rows = 1500
+	}
+	return w
+}
+
+// Setup is a materialized workload: partitioned participants, the reserved
+// test set, and a FedAvg trainer bound to the federation's encoder.
+type Setup struct {
+	Workload Workload
+	Parts    []*fl.Participant
+	Test     *dataset.Table
+	Trainer  *fl.Trainer
+}
+
+// Materialize generates the dataset, splits off the federation test set,
+// partitions the training data across participants, and builds the trainer.
+func Materialize(w Workload) (*Setup, error) {
+	w = w.withDefaults()
+	info, err := dataset.ByName(w.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(w.Seed)
+	tab := info.Generate(r, w.Rows)
+	train, test := tab.Split(r, w.TestFrac)
+
+	var parts []*fl.Participant
+	if w.SkewLabel {
+		parts = fl.PartitionSkewLabel(train, w.Participants, w.Alpha, r)
+	} else {
+		parts = fl.PartitionSkewSample(train, w.Participants, w.Alpha, r)
+	}
+
+	enc, err := dataset.NewEncoder(tab.Schema, w.TauD, r)
+	if err != nil {
+		return nil, err
+	}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds:      w.Rounds,
+		LocalEpochs: w.LocalEpochs,
+		Parallel:    true,
+		Model: nn.Config{
+			Hidden:   []int{w.Hidden},
+			Grafting: true,
+			Seed:     w.Seed + 1,
+			L1Logic:  w.L1Logic,
+			L2Head:   w.L2Head,
+			KeepBest: true,
+		},
+	})
+	return &Setup{Workload: w, Parts: parts, Test: test, Trainer: trainer}, nil
+}
+
+// CTFLConfig returns the tracer configuration implied by the workload.
+func (s *Setup) CTFLConfig() core.Config {
+	return core.Config{TauW: s.Workload.TauW, Delta: s.Workload.Delta}
+}
+
+// Schemes builds the full method lineup of the paper's figures: the four
+// baselines plus CTFL-micro and CTFL-macro. When includeExpensive is false,
+// ShapleyValue and LeastCore are omitted (the paper itself drops them on
+// dota2 because they cannot finish in reasonable time).
+func (s *Setup) Schemes(includeExpensive bool) []valuation.Scheme {
+	out := []valuation.Scheme{
+		&valuation.Individual{Trainer: s.Trainer},
+		&valuation.LeaveOneOut{Trainer: s.Trainer},
+	}
+	if includeExpensive {
+		out = append(out,
+			&valuation.ShapleyValue{Trainer: s.Trainer, Seed: s.Workload.Seed},
+			&valuation.LeastCore{Trainer: s.Trainer, Seed: s.Workload.Seed},
+		)
+	}
+	out = append(out,
+		&core.Scheme{Variant: core.Micro, Trainer: s.Trainer, Cfg: s.CTFLConfig()},
+		&core.Scheme{Variant: core.Macro, Trainer: s.Trainer, Cfg: s.CTFLConfig()},
+	)
+	return out
+}
+
+// AttachOracle points every combinatorial baseline in schemes at a shared
+// memoizing oracle so coalition trainings are reused across schemes. Only
+// valid while the participant list the oracle was built for is unchanged;
+// CTFL schemes are unaffected (they never retrain coalitions).
+func AttachOracle(schemes []valuation.Scheme, o *valuation.Oracle) {
+	for _, s := range schemes {
+		switch b := s.(type) {
+		case *valuation.Individual:
+			b.SharedOracle = o
+		case *valuation.LeaveOneOut:
+			b.SharedOracle = o
+		case *valuation.ShapleyValue:
+			b.SharedOracle = o
+		case *valuation.LeastCore:
+			b.SharedOracle = o
+		}
+	}
+}
+
+// ParticipantNames returns the display names in index order.
+func (s *Setup) ParticipantNames() []string {
+	names := make([]string, len(s.Parts))
+	for i, p := range s.Parts {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// String summarizes the workload for report headers.
+func (w Workload) String() string {
+	skew := "skew-sample"
+	if w.SkewLabel {
+		skew = "skew-label"
+	}
+	rows := "full"
+	if w.Rows > 0 {
+		rows = fmt.Sprintf("%d rows", w.Rows)
+	}
+	return fmt.Sprintf("%s (%s, %s, n=%d, alpha=%.2f, seed=%d)",
+		w.Dataset, rows, skew, w.Participants, w.Alpha, w.Seed)
+}

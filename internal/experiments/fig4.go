@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// MethodCurve is one method's remove-top-contributors trajectory.
+type MethodCurve struct {
+	Name string
+	// Scores is the method's contribution vector on the full federation.
+	Scores []float64
+	// Removed lists the participant indices in removal order (contribution
+	// descending, without replacement).
+	Removed []int
+	// Curve[k] is the model test accuracy with the top-k contributors
+	// removed; Curve[0] is the full-federation accuracy.
+	Curve []float64
+	// AUC summarizes the curve (mean height): smaller means the method
+	// identified truly important participants (paper Fig. 4 criterion).
+	AUC float64
+	// AUCStd is the standard deviation of per-repetition AUCs when the
+	// result came from RunFig4Avg with more than one repetition.
+	AUCStd float64
+}
+
+// Fig4Result reproduces one subplot of the paper's Fig. 4.
+type Fig4Result struct {
+	Workload Workload
+	Methods  []MethodCurve
+}
+
+// RunFig4 computes remove-top-k accuracy curves for every scheme on the
+// workload. All removal retrainings share one memoizing oracle, so methods
+// that agree on removal order reuse coalition evaluations.
+func RunFig4(s *Setup, topK int, includeExpensive bool) (*Fig4Result, error) {
+	if topK <= 0 || topK >= len(s.Parts) {
+		topK = min(5, len(s.Parts)-1)
+	}
+	oracle := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	full := fullMask(len(s.Parts))
+
+	res := &Fig4Result{Workload: s.Workload}
+	schemes := s.Schemes(includeExpensive)
+	// The participant list is fixed for the whole experiment, so every
+	// baseline and every removal retraining can share one coalition cache.
+	AttachOracle(schemes, oracle)
+	for _, scheme := range schemes {
+		scores, err := scheme.Scores(s.Parts, s.Test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", scheme.Name(), err)
+		}
+		mc := MethodCurve{Name: scheme.Name(), Scores: scores}
+		order := stats.ArgsortDesc(scores)
+		mask := full
+		acc, err := oracle.Utility(mask)
+		if err != nil {
+			return nil, err
+		}
+		mc.Curve = append(mc.Curve, acc)
+		for k := 0; k < topK; k++ {
+			mask &^= 1 << uint(order[k])
+			mc.Removed = append(mc.Removed, order[k])
+			acc, err := oracle.Utility(mask)
+			if err != nil {
+				return nil, err
+			}
+			mc.Curve = append(mc.Curve, acc)
+		}
+		mc.AUC = stats.AUC(mc.Curve)
+		res.Methods = append(res.Methods, mc)
+	}
+	return res, nil
+}
+
+// RunFig4Avg repeats RunFig4 over `repeats` reseeded materializations of the
+// workload and averages the accuracy curves per method, as the paper does
+// (all experiments repeated 10 times). Scores and removal orders are
+// reported from the first repetition.
+func RunFig4Avg(w Workload, topK int, includeExpensive bool, repeats int) (*Fig4Result, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var agg *Fig4Result
+	var perRepAUC [][]float64 // [method][rep]
+	for rep := 0; rep < repeats; rep++ {
+		wr := w
+		wr.Seed = w.Seed + int64(rep)*1000
+		s, err := Materialize(wr)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunFig4(s, topK, includeExpensive)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = res
+			agg.Workload = w.withDefaults()
+			agg.Workload.Seed = w.Seed
+			perRepAUC = make([][]float64, len(res.Methods))
+		} else {
+			for mi := range agg.Methods {
+				for k := range agg.Methods[mi].Curve {
+					agg.Methods[mi].Curve[k] += res.Methods[mi].Curve[k]
+				}
+			}
+		}
+		for mi := range res.Methods {
+			perRepAUC[mi] = append(perRepAUC[mi], res.Methods[mi].AUC)
+		}
+	}
+	inv := 1 / float64(repeats)
+	for mi := range agg.Methods {
+		for k := range agg.Methods[mi].Curve {
+			agg.Methods[mi].Curve[k] *= inv
+		}
+		agg.Methods[mi].AUC = stats.AUC(agg.Methods[mi].Curve)
+		agg.Methods[mi].AUCStd = stats.Std(perRepAUC[mi])
+	}
+	return agg, nil
+}
+
+// Render prints the curves and AUCs as the same series the paper plots.
+func (r *Fig4Result) Render(w io.Writer) {
+	t := NewTable("Fig.4 — accuracy while removing top contributors: "+r.Workload.String(),
+		append([]string{"method"}, curveHeader(len(r.Methods[0].Curve))...)...)
+	for _, m := range r.Methods {
+		cells := []string{m.Name}
+		for _, v := range m.Curve {
+			cells = append(cells, fmt.Sprintf("%.4f", v))
+		}
+		summary := fmt.Sprintf("AUC=%.4f", m.AUC)
+		if m.AUCStd > 0 {
+			summary += fmt.Sprintf("±%.4f", m.AUCStd)
+		}
+		cells = append(cells, summary, sparkline(m.Curve))
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}
+
+func curveHeader(n int) []string {
+	out := make([]string, 0, n+2)
+	for k := 0; k < n; k++ {
+		out = append(out, fmt.Sprintf("-top%d", k))
+	}
+	return append(out, "summary", "shape")
+}
+
+func fullMask(n int) uint64 { return (1 << uint(n)) - 1 }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

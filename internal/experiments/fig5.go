@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// MethodTiming records one scheme's wall-clock cost to produce final scores.
+type MethodTiming struct {
+	Name    string
+	Elapsed time.Duration
+	Scores  []float64
+}
+
+// Fig5Result reproduces one group of bars of the paper's Fig. 5.
+type Fig5Result struct {
+	Workload Workload
+	Timings  []MethodTiming
+}
+
+// RunFig5 times every scheme end-to-end (training included) with no shared
+// caches, mirroring the paper's execution-time measurement.
+func RunFig5(s *Setup, includeExpensive bool) (*Fig5Result, error) {
+	res := &Fig5Result{Workload: s.Workload}
+	for _, scheme := range s.Schemes(includeExpensive) {
+		start := time.Now()
+		scores, err := scheme.Scores(s.Parts, s.Test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", scheme.Name(), err)
+		}
+		res.Timings = append(res.Timings, MethodTiming{
+			Name:    scheme.Name(),
+			Elapsed: time.Since(start),
+			Scores:  scores,
+		})
+	}
+	return res, nil
+}
+
+// SpeedupOver returns how many times faster the named method is than the
+// slowest method in the result (the paper's "2-3 orders of magnitude" claim
+// compares CTFL against ShapleyValue/LeastCore).
+func (r *Fig5Result) SpeedupOver(name string) float64 {
+	var target, slowest time.Duration
+	for _, m := range r.Timings {
+		if m.Name == name {
+			target = m.Elapsed
+		}
+		if m.Elapsed > slowest {
+			slowest = m.Elapsed
+		}
+	}
+	if target == 0 {
+		return 0
+	}
+	return float64(slowest) / float64(target)
+}
+
+// Render prints the timing rows.
+func (r *Fig5Result) Render(w io.Writer) {
+	t := NewTable("Fig.5 — execution time: "+r.Workload.String(),
+		"method", "seconds", "scores")
+	for _, m := range r.Timings {
+		t.AddRow(m.Name, fmt.Sprintf("%.3f", m.Elapsed.Seconds()), formatScores(m.Scores))
+	}
+	t.Render(w)
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/fl"
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// Behaviour names one adverse participant behaviour of the robustness study.
+type Behaviour string
+
+// The three behaviours of the paper's Fig. 6, top to bottom row.
+const (
+	Replication Behaviour = "replication"
+	LowQuality  Behaviour = "low-quality"
+	LabelFlip   Behaviour = "label-flip"
+)
+
+// Behaviours lists the Fig. 6 rows in paper order.
+func Behaviours() []Behaviour { return []Behaviour{Replication, LowQuality, LabelFlip} }
+
+func applyBehaviour(b Behaviour, p *fl.Participant, ratio float64, r *rand.Rand) *fl.Participant {
+	switch b {
+	case Replication:
+		return fl.Replicate(p, ratio, r)
+	case LowQuality:
+		return fl.InjectLowQuality(p, ratio, r)
+	case LabelFlip:
+		return fl.FlipLabels(p, ratio, r)
+	default:
+		panic(fmt.Sprintf("experiments: unknown behaviour %q", b))
+	}
+}
+
+// MethodRobustness is one method's reaction to one behaviour.
+type MethodRobustness struct {
+	Name string
+	// Changes[j] is the relative contribution change of the j-th modified
+	// participant, clipped to [-1, 1] as in the paper's plots.
+	Changes []float64
+	// MeanChange averages Changes.
+	MeanChange float64
+}
+
+// Fig6Row is one behaviour row of Fig. 6 for one workload.
+type Fig6Row struct {
+	Behaviour Behaviour
+	// Modified lists the indices of the attacked participants and the
+	// data ratios applied to them.
+	Modified []int
+	Ratios   []float64
+	Methods  []MethodRobustness
+}
+
+// Fig6Result reproduces the paper's Fig. 6 for one workload.
+type Fig6Result struct {
+	Workload Workload
+	Rows     []Fig6Row
+}
+
+// RunFig6 measures, for every scheme and every adverse behaviour, the
+// relative contribution change of the modified participants
+// (phi(i') − phi(i)) / phi(i), clipped to [-1, 1]. numModified participants
+// (paper default 2) are attacked with ratios drawn uniformly from
+// [0.1, 0.5].
+func RunFig6(s *Setup, numModified int, includeExpensive bool) (*Fig6Result, error) {
+	if numModified <= 0 {
+		numModified = 2
+	}
+	if numModified > len(s.Parts) {
+		numModified = len(s.Parts)
+	}
+	r := stats.NewRNG(s.Workload.Seed + 77)
+	victims := r.Perm(len(s.Parts))[:numModified]
+	ratios := make([]float64, numModified)
+	for i := range ratios {
+		ratios[i] = 0.1 + 0.4*r.Float64()
+	}
+
+	schemes := s.Schemes(includeExpensive)
+	// Baseline scores once per scheme, sharing one coalition cache (the
+	// participant list is the honest one for every baseline score).
+	AttachOracle(schemes, valuation.NewOracle(s.Trainer, s.Parts, s.Test))
+	base := make(map[string][]float64, len(schemes))
+	for _, scheme := range schemes {
+		sc, err := scheme.Scores(s.Parts, s.Test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", scheme.Name(), err)
+		}
+		base[scheme.Name()] = sc
+	}
+
+	res := &Fig6Result{Workload: s.Workload}
+	for _, b := range Behaviours() {
+		parts := s.Parts
+		for j, vi := range victims {
+			parts = fl.ReplaceParticipant(parts, applyBehaviour(b, s.Parts[vi], ratios[j], r))
+		}
+		// Re-point the shared cache at the modified participant list.
+		AttachOracle(schemes, valuation.NewOracle(s.Trainer, parts, s.Test))
+		row := Fig6Row{Behaviour: b, Modified: victims, Ratios: ratios}
+		for _, scheme := range schemes {
+			after, err := scheme.Scores(parts, s.Test)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s under %s: %w", scheme.Name(), b, err)
+			}
+			m := MethodRobustness{Name: scheme.Name()}
+			for _, vi := range victims {
+				before := base[scheme.Name()][vi]
+				change := relativeChange(before, after[vi])
+				m.Changes = append(m.Changes, change)
+			}
+			m.MeanChange = stats.Mean(m.Changes)
+			row.Methods = append(row.Methods, m)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunFig6Avg repeats RunFig6 over reseeded materializations and averages
+// each method's per-victim relative changes, mirroring the paper's repeated
+// trials. Victim indices and ratios are reported from the first repetition.
+func RunFig6Avg(w Workload, numModified int, includeExpensive bool, repeats int) (*Fig6Result, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var agg *Fig6Result
+	for rep := 0; rep < repeats; rep++ {
+		wr := w
+		wr.Seed = w.Seed + int64(rep)*1000
+		s, err := Materialize(wr)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunFig6(s, numModified, includeExpensive)
+		if err != nil {
+			return nil, err
+		}
+		if agg == nil {
+			agg = res
+			agg.Workload = w.withDefaults()
+			agg.Workload.Seed = w.Seed
+			continue
+		}
+		for ri := range agg.Rows {
+			for mi := range agg.Rows[ri].Methods {
+				for ci := range agg.Rows[ri].Methods[mi].Changes {
+					agg.Rows[ri].Methods[mi].Changes[ci] += res.Rows[ri].Methods[mi].Changes[ci]
+				}
+			}
+		}
+	}
+	inv := 1 / float64(repeats)
+	for ri := range agg.Rows {
+		for mi := range agg.Rows[ri].Methods {
+			m := &agg.Rows[ri].Methods[mi]
+			for ci := range m.Changes {
+				m.Changes[ci] *= inv
+			}
+			m.MeanChange = stats.Mean(m.Changes)
+		}
+	}
+	return agg, nil
+}
+
+// relativeChange computes (after − before)/|before| clipped to [-1, 1],
+// treating a near-zero baseline as the change magnitude itself (clipped).
+func relativeChange(before, after float64) float64 {
+	const eps = 1e-9
+	den := math.Abs(before)
+	if den < eps {
+		return stats.Clip(after, -1, 1)
+	}
+	return stats.Clip((after-before)/den, -1, 1)
+}
+
+// Render prints one table per behaviour row.
+func (r *Fig6Result) Render(w io.Writer) {
+	for _, row := range r.Rows {
+		t := NewTable(
+			fmt.Sprintf("Fig.6 — %s on %s (victims %v, ratios %s)",
+				row.Behaviour, r.Workload.String(), row.Modified, formatScores(row.Ratios)),
+			"method", "per-victim change", "mean")
+		for _, m := range row.Methods {
+			t.AddRow(m.Name, formatScores(m.Changes), fmt.Sprintf("%+.3f", m.MeanChange))
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+}

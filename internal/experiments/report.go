@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a minimal text-table builder used by every experiment's report.
+type Table struct {
+	Title   string
+	Header  []string
+	rows    [][]string
+	maxCols int
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header, maxCols: len(header)}
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > t.maxCols {
+		t.maxCols = len(cells)
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row where every value after the first is formatted with
+// the given verb (e.g. "%.4f").
+func (t *Table) AddRowf(label string, verb string, values ...float64) {
+	cells := []string{label}
+	for _, v := range values {
+		cells = append(cells, fmt.Sprintf(verb, v))
+	}
+	t.AddRow(cells...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, t.maxCols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i := 0; i < t.maxCols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], c)
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	if len(t.Header) > 0 {
+		fmt.Fprintf(w, "%s\n", line(t.Header))
+		total := 0
+		for _, wd := range widths {
+			total += wd + 2
+		}
+		fmt.Fprintf(w, "%s\n", strings.Repeat("-", total-2))
+	}
+	for _, r := range t.rows {
+		fmt.Fprintf(w, "%s\n", line(r))
+	}
+}
+
+// sparkline renders ys as a compact unicode bar series, scaled to the
+// series' own min/max (a flat series renders mid-height bars). It gives the
+// CLI's accuracy curves an at-a-glance shape, like the paper's plots.
+func sparkline(ys []float64) string {
+	if len(ys) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	var b strings.Builder
+	for _, y := range ys {
+		idx := len(levels) / 2
+		if hi > lo {
+			idx = int((y - lo) / (hi - lo) * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// formatScores renders a score vector compactly.
+func formatScores(scores []float64) string {
+	parts := make([]string, len(scores))
+	for i, s := range scores {
+		parts[i] = fmt.Sprintf("%.4f", s)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// Table2Result reproduces the paper's Table II motivating example: three
+// participants where A and B hold similar, sufficient typical data while C
+// holds a small amount of complementary task-critical data. The table shows
+// v(D_S) for every coalition plus the scores each scheme derives from it.
+type Table2Result struct {
+	// Utilities maps coalition label ("∅", "A", "A,B", ...) to test accuracy.
+	Utilities map[string]float64
+	// CoalitionOrder lists the labels in presentation order.
+	CoalitionOrder []string
+	// Individual, LeaveOneOut, Shapley are the derived scores for A, B, C.
+	Individual, LeaveOneOut, Shapley []float64
+}
+
+// RunTable2 builds the A/B/C scenario on tic-tac-toe: A and B hold
+// overlapping samples dominated by the majority (x-wins) class, C holds the
+// scarce o-wins class data that the model cannot learn from A and B alone.
+func RunTable2(seed int64) (*Table2Result, error) {
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(seed)
+	train, test := tab.Split(r, 0.25)
+
+	// Indices by class.
+	var pos, neg []int
+	for i, in := range train.Instances {
+		if in.Label == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	stats.Shuffle(r, pos)
+	stats.Shuffle(r, neg)
+
+	// A and B: large, overlapping shards dominated by the typical (x-wins)
+	// class with only a sliver of negatives — "similar and sufficient
+	// typical data"; C: a small shard holding nearly all the o-wins class,
+	// the complementary task-critical data.
+	p40, p20, p60, p70 := 2*len(pos)/5, len(pos)/5, 3*len(pos)/5, 7*len(pos)/10
+	n5, n10 := len(neg)/20, len(neg)/10
+	mkA := append(append([]int{}, pos[:p40]...), neg[:n5]...)
+	mkB := append(append([]int{}, pos[p20:p60]...), neg[n5:n10]...)
+	mkC := append(append([]int{}, pos[p60:p70]...), neg[n10:]...)
+
+	parts := []*fl.Participant{
+		{ID: 0, Name: "A", Data: train.Subset(mkA)},
+		{ID: 1, Name: "B", Data: train.Subset(mkB)},
+		{ID: 2, Name: "C", Data: train.Subset(mkC)},
+	}
+
+	enc, err := dataset.NewEncoder(tab.Schema, 10, r)
+	if err != nil {
+		return nil, err
+	}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 8, LocalEpochs: 20, Parallel: true,
+		Model: nn.Config{Hidden: []int{64}, Grafting: true, Seed: seed + 1, L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true},
+	})
+	oracle := valuation.NewOracle(trainer, parts, test)
+
+	labels := map[uint64]string{
+		0b000: "∅", 0b001: "A", 0b010: "B", 0b100: "C",
+		0b011: "A,B", 0b101: "A,C", 0b110: "B,C", 0b111: "A,B,C",
+	}
+	res := &Table2Result{Utilities: map[string]float64{}}
+	var masks []uint64
+	for m := range labels {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(a, b int) bool {
+		if popcount(masks[a]) != popcount(masks[b]) {
+			return popcount(masks[a]) < popcount(masks[b])
+		}
+		return masks[a] < masks[b]
+	})
+	for _, m := range masks {
+		u, err := oracle.Utility(m)
+		if err != nil {
+			return nil, err
+		}
+		res.Utilities[labels[m]] = u
+		res.CoalitionOrder = append(res.CoalitionOrder, labels[m])
+	}
+
+	if res.Individual, err = valuation.IndividualValues(3, oracle.Utility); err != nil {
+		return nil, err
+	}
+	if res.LeaveOneOut, err = valuation.LeaveOneOutValues(3, oracle.Utility); err != nil {
+		return nil, err
+	}
+	if res.Shapley, err = valuation.ExactShapley(3, oracle.Utility); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Render prints the coalition utility table and the derived scores.
+func (r *Table2Result) Render(w io.Writer) {
+	t := NewTable("Table II — model test accuracy across participant sets",
+		append([]string{"participant set"}, r.CoalitionOrder...)...)
+	cells := []string{"v: test acc."}
+	for _, c := range r.CoalitionOrder {
+		cells = append(cells, fmt.Sprintf("%.2f", r.Utilities[c]))
+	}
+	t.AddRow(cells...)
+	t.Render(w)
+	fmt.Fprintln(w)
+
+	t2 := NewTable("derived scores", "scheme", "A", "B", "C")
+	t2.AddRowf("Individual", "%.4f", r.Individual...)
+	t2.AddRowf("LeaveOneOut", "%.4f", r.LeaveOneOut...)
+	t2.AddRowf("ShapleyValue (exact)", "%.4f", r.Shapley...)
+	t2.Render(w)
+}

@@ -1,0 +1,137 @@
+package fedsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+func setup(t *testing.T) (*dataset.Encoder, []*fl.Participant, *dataset.Table) {
+	t.Helper()
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(5)
+	train, test := tab.Split(r, 0.2)
+	parts := fl.PartitionSkewSample(train, 4, 2.0, r)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, parts, test
+}
+
+func TestRunCleanFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	enc, parts, test := setup(t)
+	res, err := Run(enc, parts, test, Config{
+		Rounds: 5, LocalEpochs: 8, Seed: 1,
+		Model: nn.Config{Hidden: []int{48}, Grafting: true, Seed: 2, L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 5 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	// No dropouts configured: everyone participates every round.
+	for i, n := range res.Participation {
+		if n != 5 {
+			t.Fatalf("participant %d participated %d/5 rounds", i, n)
+		}
+	}
+	traj := res.AccuracyTrajectory()
+	if len(traj) != 5 {
+		t.Fatalf("trajectory = %v", traj)
+	}
+	// Training should beat the untrained starting point decisively by the
+	// last round.
+	if traj[len(traj)-1] < 0.75 {
+		t.Fatalf("final accuracy %v too low: %v", traj[len(traj)-1], traj)
+	}
+	if res.Model == nil {
+		t.Fatal("no final model")
+	}
+}
+
+func TestRunWithChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	enc, parts, test := setup(t)
+	res, err := Run(enc, parts, test, Config{
+		Rounds: 6, LocalEpochs: 6, Seed: 3,
+		DropoutProb: 0.3, StragglerProb: 0.2,
+		Model: nn.Config{Hidden: []int{32}, Grafting: true, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drops, lags int
+	for _, e := range res.Events {
+		switch e.Kind {
+		case EventDropout:
+			drops++
+		case EventStraggler:
+			lags++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("expected dropout events at 30% dropout probability")
+	}
+	if lags == 0 {
+		t.Fatal("expected straggler events at 20% straggler probability")
+	}
+	log := res.EventLog()
+	for _, want := range []string{"dropout", "aggregated"} {
+		if !strings.Contains(log, want) {
+			t.Fatalf("event log missing %q:\n%s", want, log)
+		}
+	}
+	// Participation counts reflect churn: nobody exceeds the round count.
+	for i, n := range res.Participation {
+		if n > 6 {
+			t.Fatalf("participant %d participated %d/6", i, n)
+		}
+	}
+}
+
+func TestRunAllOffline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	enc, parts, test := setup(t)
+	res, err := Run(enc, parts, test, Config{
+		Rounds: 2, LocalEpochs: 2, Seed: 1, DropoutProb: 1.0,
+		Model: nn.Config{Hidden: []int{16}, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round skipped; the model stays untrained but valid.
+	skips := 0
+	for _, e := range res.Events {
+		if e.Kind == EventSkipped {
+			skips++
+		}
+	}
+	if skips != 2 {
+		t.Fatalf("skipped rounds = %d, want 2", skips)
+	}
+	for _, rs := range res.Rounds {
+		if rs.Selected != 0 {
+			t.Fatalf("round %d selected %d", rs.Round, rs.Selected)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	enc, _, test := setup(t)
+	if _, err := Run(enc, nil, test, Config{}); err == nil {
+		t.Fatal("no participants should error")
+	}
+}

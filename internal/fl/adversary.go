@@ -1,0 +1,85 @@
+package fl
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// The adversarial transforms below return a *new* Participant with modified
+// data (the original is untouched), matching the robustness protocol of
+// Section VI-A: the experiment scores participant i before and after the
+// modification and reports the relative contribution change.
+
+// Replicate returns a copy of p whose data is augmented with duplicates of a
+// ratio-sized random sample of its rows — the strategic "data replication"
+// behaviour that inflates proportional allocation schemes.
+func Replicate(p *Participant, ratio float64, r *rand.Rand) *Participant {
+	data := p.Data.Clone()
+	k := sampleCount(data.Len(), ratio)
+	idx := r.Perm(data.Len())[:k]
+	for _, i := range idx {
+		vals := make([]float64, len(data.Instances[i].Values))
+		copy(vals, data.Instances[i].Values)
+		data.Instances = append(data.Instances, dataset.Instance{Values: vals, Label: data.Instances[i].Label})
+	}
+	return &Participant{ID: p.ID, Name: p.Name, Data: data}
+}
+
+// InjectLowQuality returns a copy of p in which a ratio-sized random sample
+// of rows has its labels re-drawn from the participant's own label
+// distribution — poorly annotated data that should lose credit.
+func InjectLowQuality(p *Participant, ratio float64, r *rand.Rand) *Participant {
+	data := p.Data.Clone()
+	dist := p.LabelDistribution()
+	k := sampleCount(data.Len(), ratio)
+	idx := r.Perm(data.Len())[:k]
+	for _, i := range idx {
+		label := 0
+		if r.Float64() < dist[1] {
+			label = 1
+		}
+		data.Instances[i].Label = label
+	}
+	return &Participant{ID: p.ID, Name: p.Name, Data: data}
+}
+
+// FlipLabels returns a copy of p in which a ratio-sized random sample of
+// rows has its labels flipped — the label-flipping poisoning attack.
+func FlipLabels(p *Participant, ratio float64, r *rand.Rand) *Participant {
+	data := p.Data.Clone()
+	k := sampleCount(data.Len(), ratio)
+	idx := r.Perm(data.Len())[:k]
+	for _, i := range idx {
+		data.Instances[i].Label = 1 - data.Instances[i].Label
+	}
+	return &Participant{ID: p.ID, Name: p.Name, Data: data}
+}
+
+// ReplaceParticipant returns a copy of parts with the participant whose ID
+// matches repl.ID swapped for repl.
+func ReplaceParticipant(parts []*Participant, repl *Participant) []*Participant {
+	out := make([]*Participant, len(parts))
+	for i, p := range parts {
+		if p.ID == repl.ID {
+			out[i] = repl
+		} else {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+func sampleCount(n int, ratio float64) int {
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	k := int(float64(n) * ratio)
+	if k > n {
+		k = n
+	}
+	return k
+}

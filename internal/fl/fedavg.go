@@ -1,0 +1,209 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// TrainConfig controls the FedAvg orchestration.
+type TrainConfig struct {
+	// Rounds of server aggregation. Default 4.
+	Rounds int
+	// LocalEpochs each client trains per round. Default 15.
+	LocalEpochs int
+	// Model is the shared logical-network configuration (Epochs inside is
+	// ignored; LocalEpochs governs training length).
+	Model nn.Config
+	// Parallel trains clients of one round concurrently. FedAvg semantics
+	// are identical either way; this is a wall-clock optimization.
+	Parallel bool
+	// ClientFraction samples a subset of clients each round (FedAvg's C
+	// parameter). 0 or >= 1 means every client participates every round.
+	ClientFraction float64
+	// SecureAgg aggregates client updates through pairwise additive masking
+	// (see secagg.go): the server only ever sees masked uploads whose masks
+	// cancel in the sum. Results match plain aggregation to float rounding.
+	SecureAgg bool
+	// Seed drives client sampling and mask derivation.
+	Seed int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 4
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 15
+	}
+	return c
+}
+
+// Trainer runs FedAvg over participants using a fixed encoder (the
+// federation-agreed predicate encoding). It caches each participant's
+// encoded data by pointer identity, so repeated coalition training (the
+// baselines' hot loop) does not re-encode.
+type Trainer struct {
+	enc *dataset.Encoder
+	cfg TrainConfig
+
+	mu    sync.Mutex
+	cache map[*Participant]encoded
+}
+
+type encoded struct {
+	x [][]float64
+	y []int
+}
+
+// NewTrainer creates a FedAvg trainer bound to an encoder.
+func NewTrainer(enc *dataset.Encoder, cfg TrainConfig) *Trainer {
+	return &Trainer{enc: enc, cfg: cfg.withDefaults(), cache: make(map[*Participant]encoded)}
+}
+
+// Encoder returns the federation's shared encoder.
+func (tr *Trainer) Encoder() *dataset.Encoder { return tr.enc }
+
+// Config returns the training configuration in effect.
+func (tr *Trainer) Config() TrainConfig { return tr.cfg }
+
+// encodedData returns (and caches) the encoded form of p's local data.
+func (tr *Trainer) encodedData(p *Participant) encoded {
+	tr.mu.Lock()
+	e, ok := tr.cache[p]
+	tr.mu.Unlock()
+	if ok {
+		return e
+	}
+	x, y := tr.enc.EncodeTable(p.Data)
+	e = encoded{x: x, y: y}
+	tr.mu.Lock()
+	tr.cache[p] = e
+	tr.mu.Unlock()
+	return e
+}
+
+// Train runs FedAvg over the given participants and returns the final global
+// model. Per the FedAvg algorithm the server averages client parameter
+// vectors weighted by local dataset size each round. An empty participant
+// list is an error.
+func (tr *Trainer) Train(parts []*Participant) (*nn.Model, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fl: Train needs at least one participant")
+	}
+	global, err := nn.New(tr.enc.Width(), tr.cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		if p.Size() == 0 {
+			return nil, fmt.Errorf("fl: participant %s has no data", p.Name)
+		}
+		total += p.Size()
+	}
+
+	// Round-level model selection: FedAvg over binarized logical networks
+	// can regress when averaging pushes weights across the 0.5 threshold, so
+	// the server keeps the aggregated snapshot with the best (size-weighted)
+	// training accuracy across rounds. Only already-uploaded client data
+	// encodings are consulted — no extra information leaves the clients.
+	bestAcc := -1.0
+	var bestParams []float64
+	snapshot := func() {
+		correct := 0
+		for _, p := range parts {
+			e := tr.encodedData(p)
+			pred := global.PredictBatch(e.x)
+			for i, y := range e.y {
+				if pred[i] == y {
+					correct++
+				}
+			}
+		}
+		if acc := float64(correct) / float64(total); acc > bestAcc {
+			bestAcc = acc
+			bestParams = global.Params()
+		}
+	}
+
+	sampler := rand.New(rand.NewSource(tr.cfg.Seed + 4242))
+	for round := 0; round < tr.cfg.Rounds; round++ {
+		selected := tr.sampleClients(parts, sampler)
+		selTotal := 0
+		for _, p := range selected {
+			selTotal += p.Size()
+		}
+		uploads := make([][]float64, len(selected))
+		trainOne := func(idx int, p *Participant) {
+			local := global.Clone()
+			e := tr.encodedData(p)
+			local.TrainEpochs(e.x, e.y, tr.cfg.LocalEpochs)
+			w := float64(p.Size()) / float64(selTotal)
+			lp := local.Params()
+			if tr.cfg.SecureAgg {
+				uploads[idx] = MaskUpdate(lp, w, idx, len(selected), round, tr.cfg.Seed)
+				return
+			}
+			for i := range lp {
+				lp[i] *= w
+			}
+			uploads[idx] = lp
+		}
+		if tr.cfg.Parallel {
+			var wg sync.WaitGroup
+			for idx, p := range selected {
+				wg.Add(1)
+				go func(idx int, p *Participant) {
+					defer wg.Done()
+					trainOne(idx, p)
+				}(idx, p)
+			}
+			wg.Wait()
+		} else {
+			for idx, p := range selected {
+				trainOne(idx, p)
+			}
+		}
+		if err := global.SetParams(AggregateMasked(uploads)); err != nil {
+			return nil, err
+		}
+		snapshot()
+	}
+	if bestParams != nil {
+		if err := global.SetParams(bestParams); err != nil {
+			return nil, err
+		}
+	}
+	return global, nil
+}
+
+// sampleClients returns the round's participating clients: all of them when
+// ClientFraction is 0 or >= 1, otherwise a uniform sample of
+// max(1, round(C*n)) clients.
+func (tr *Trainer) sampleClients(parts []*Participant, r *rand.Rand) []*Participant {
+	c := tr.cfg.ClientFraction
+	if c <= 0 || c >= 1 {
+		return parts
+	}
+	k := int(c*float64(len(parts)) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	idx := r.Perm(len(parts))[:k]
+	out := make([]*Participant, k)
+	for i, j := range idx {
+		out[i] = parts[j]
+	}
+	return out
+}
+
+// Evaluate returns the model's test accuracy on tab under the trainer's
+// encoder — the paper's data utility metric v (Eq. 1).
+func (tr *Trainer) Evaluate(m *nn.Model, tab *dataset.Table) float64 {
+	x, y := tr.enc.EncodeTable(tab)
+	return m.Accuracy(x, y)
+}

@@ -1,0 +1,127 @@
+package fpm
+
+// Apriori (Agrawal & Srikant 1994): the classical level-wise enumeration of
+// ALL frequent itemsets. Max-Miner returns only the maximal ones — exactly
+// what grouped tracing needs — but the full lattice is useful for
+// cross-checking (every frequent itemset must be a subset of some maximal
+// one) and for interpretability queries like "which rule PAIRS co-fire
+// often". The implementation reuses the Miner's vertical bitset layout.
+
+import "sort"
+
+// Frequent returns every frequent itemset at the given absolute minimum
+// support, ordered by size then lexicographically.
+func (m *Miner) Frequent(minSupport int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// Level 1.
+	var level []Itemset
+	for it, txs := range m.item2tx {
+		if c := txs.Count(); c >= minSupport {
+			level = append(level, Itemset{Items: []int{it}, Support: c})
+		}
+	}
+	sort.Slice(level, func(a, b int) bool { return level[a].Items[0] < level[b].Items[0] })
+
+	var all []Itemset
+	for len(level) > 0 {
+		all = append(all, level...)
+		level = m.nextLevel(level, minSupport)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if len(all[a].Items) != len(all[b].Items) {
+			return len(all[a].Items) < len(all[b].Items)
+		}
+		return lexLess(all[a].Items, all[b].Items)
+	})
+	return all
+}
+
+// nextLevel generates size-(k+1) candidates from size-k frequent itemsets by
+// the standard prefix join, prunes by the Apriori property, and counts
+// support.
+func (m *Miner) nextLevel(level []Itemset, minSupport int) []Itemset {
+	frequent := make(map[string]bool, len(level))
+	for _, is := range level {
+		frequent[itemsKey(is.Items)] = true
+	}
+	var next []Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b) {
+				continue
+			}
+			cand := append(append([]int(nil), a...), b[len(b)-1])
+			if !m.allSubsetsFrequent(cand, frequent) {
+				continue
+			}
+			if sup := m.Support(cand); sup >= minSupport {
+				next = append(next, Itemset{Items: cand, Support: sup})
+			}
+		}
+	}
+	return next
+}
+
+// samePrefix reports whether two sorted k-itemsets share the first k-1 items
+// and differ in the last (the join condition); both inputs are sorted.
+func samePrefix(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return a[len(a)-1] < b[len(b)-1]
+}
+
+// allSubsetsFrequent applies the Apriori pruning: every (k-1)-subset of cand
+// must be frequent.
+func (m *Miner) allSubsetsFrequent(cand []int, frequent map[string]bool) bool {
+	if len(cand) <= 2 {
+		return true // both 1-subsets are frequent by construction of the join
+	}
+	buf := make([]int, 0, len(cand)-1)
+	for skip := range cand {
+		buf = buf[:0]
+		for i, it := range cand {
+			if i != skip {
+				buf = append(buf, it)
+			}
+		}
+		if !frequent[itemsKey(buf)] {
+			return false
+		}
+	}
+	return true
+}
+
+func itemsKey(items []int) string {
+	// Compact key: items are small ints; delimit with commas.
+	b := make([]byte, 0, len(items)*3)
+	for i, it := range items {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		for _, d := range digits(it) {
+			b = append(b, d)
+		}
+	}
+	return string(b)
+}
+
+func digits(v int) []byte {
+	if v == 0 {
+		return []byte{'0'}
+	}
+	var out []byte
+	for v > 0 {
+		out = append([]byte{byte('0' + v%10)}, out...)
+		v /= 10
+	}
+	return out
+}

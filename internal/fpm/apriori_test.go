@@ -1,0 +1,127 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// bruteFrequent enumerates all frequent itemsets exhaustively.
+func bruteFrequent(db [][]int, numItems, minSup int) []Itemset {
+	m := NewMiner(db, numItems)
+	var out []Itemset
+	for mask := 1; mask < 1<<numItems; mask++ {
+		var items []int
+		for i := 0; i < numItems; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, i)
+			}
+		}
+		if sup := m.Support(items); sup >= minSup {
+			out = append(out, Itemset{Items: items, Support: sup})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Items) != len(out[b].Items) {
+			return len(out[a].Items) < len(out[b].Items)
+		}
+		return lexLess(out[a].Items, out[b].Items)
+	})
+	return out
+}
+
+func TestAprioriMatchesBruteForceClassic(t *testing.T) {
+	for _, minSup := range []int{1, 2, 3, 4, 6} {
+		got := NewMiner(classicDB, 5).Frequent(minSup)
+		want := bruteFrequent(classicDB, 5, minSup)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("minSup=%d:\n got  %v\n want %v", minSup, got, want)
+		}
+	}
+}
+
+func TestPropertyAprioriMatchesBruteForceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numItems := 3 + r.Intn(4)
+		numTx := 3 + r.Intn(12)
+		db := make([][]int, numTx)
+		for i := range db {
+			for it := 0; it < numItems; it++ {
+				if r.Intn(3) == 0 {
+					db[i] = append(db[i], it)
+				}
+			}
+		}
+		minSup := 1 + r.Intn(3)
+		got := NewMiner(db, numItems).Frequent(minSup)
+		want := bruteFrequent(db, numItems, minSup)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEveryFrequentSubsetOfSomeMaximal(t *testing.T) {
+	// Cross-check Apriori against Max-Miner: every frequent itemset must be
+	// contained in a maximal frequent itemset with >= the same support floor.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numItems := 3 + r.Intn(5)
+		numTx := 4 + r.Intn(15)
+		db := make([][]int, numTx)
+		for i := range db {
+			for it := 0; it < numItems; it++ {
+				if r.Intn(3) == 0 {
+					db[i] = append(db[i], it)
+				}
+			}
+		}
+		minSup := 1 + r.Intn(3)
+		m := NewMiner(db, numItems)
+		freq := m.Frequent(minSup)
+		maximal := m.MaximalFrequent(minSup)
+		for _, fs := range freq {
+			ok := false
+			for _, ms := range maximal {
+				if containsAllSorted(ms.Items, fs.Items) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		// And every maximal itemset must itself appear in the full list.
+		for _, ms := range maximal {
+			found := false
+			for _, fs := range freq {
+				if reflect.DeepEqual(fs.Items, ms.Items) && fs.Support == ms.Support {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAprioriEmptyAndClamp(t *testing.T) {
+	m := NewMiner([][]int{{0}, {1}}, 2)
+	if got := m.Frequent(3); len(got) != 0 {
+		t.Fatalf("nothing should be frequent: %v", got)
+	}
+	if got := m.Frequent(0); len(got) != 2 {
+		t.Fatalf("minSup 0 clamps to 1: %v", got)
+	}
+}

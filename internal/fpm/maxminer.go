@@ -1,0 +1,262 @@
+// Package fpm implements Max-Miner (Bayardo, SIGMOD 1998), a search for
+// maximal frequent itemsets, i.e. frequent itemsets none of whose supersets
+// are frequent.
+//
+// CTFL uses Max-Miner as a performance optimization for contribution tracing
+// (Section III-C "Efficient Computation of CTFL"): test instances are grouped
+// by the maximal frequent subsets of their rule-activation vectors, the
+// related training data is computed once per group against the group's
+// shared rule subset, and only the survivors are checked per instance.
+//
+// Transactions are represented vertically: for every item we keep a bitset
+// over transactions, which makes support counting a popcount intersection.
+package fpm
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// Itemset is a sorted list of item ids with its support count.
+type Itemset struct {
+	Items   []int
+	Support int
+}
+
+// candidateGroup is Max-Miner's node: a head itemset plus the ordered tail of
+// items that may still extend it.
+type candidateGroup struct {
+	head    []int
+	tail    []int
+	headSet *bitset.Set // transactions containing every head item
+}
+
+// Miner holds the vertical representation of a transaction database.
+type Miner struct {
+	numTx   int
+	item2tx []*bitset.Set // item id -> transactions containing it
+}
+
+// NewMiner builds a Miner from transactions given as item-id lists.
+// numItems is the size of the item universe; ids must be in [0, numItems).
+func NewMiner(transactions [][]int, numItems int) *Miner {
+	m := &Miner{numTx: len(transactions), item2tx: make([]*bitset.Set, numItems)}
+	for i := range m.item2tx {
+		m.item2tx[i] = bitset.New(len(transactions))
+	}
+	for tx, items := range transactions {
+		for _, it := range items {
+			m.item2tx[it].Set(tx)
+		}
+	}
+	return m
+}
+
+// NewMinerFromSets builds a Miner from transactions that are already bitsets
+// over the item universe (e.g. rule-activation vectors).
+func NewMinerFromSets(transactions []*bitset.Set, numItems int) *Miner {
+	m := &Miner{numTx: len(transactions), item2tx: make([]*bitset.Set, numItems)}
+	for i := range m.item2tx {
+		m.item2tx[i] = bitset.New(len(transactions))
+	}
+	for tx, s := range transactions {
+		for _, it := range s.Indices() {
+			m.item2tx[it].Set(tx)
+		}
+	}
+	return m
+}
+
+// NumTransactions reports the number of transactions the miner indexes.
+func (m *Miner) NumTransactions() int { return m.numTx }
+
+// support returns the number of transactions containing all items of base∩extra.
+func (m *Miner) supportWith(base *bitset.Set, items []int) int {
+	if len(items) == 0 {
+		if base == nil {
+			return m.numTx
+		}
+		return base.Count()
+	}
+	acc := m.item2tx[items[0]].Clone()
+	if base != nil {
+		acc.And(base)
+	}
+	for _, it := range items[1:] {
+		acc.And(m.item2tx[it])
+		if !acc.Any() {
+			return 0
+		}
+	}
+	return acc.Count()
+}
+
+// Support returns the support count of the given itemset.
+func (m *Miner) Support(items []int) int {
+	return m.supportWith(nil, items)
+}
+
+// MaximalFrequent returns all maximal frequent itemsets at the given absolute
+// minimum support (count, not fraction). Single frequent items with no
+// frequent superset count as maximal. Results are sorted by decreasing
+// support, then lexicographically, for deterministic output.
+func (m *Miner) MaximalFrequent(minSupport int) []Itemset {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	// Frequent 1-items, ordered by increasing support (Max-Miner heuristic:
+	// most likely maximal itemsets are found early when rare items lead).
+	type itemCount struct{ item, count int }
+	var freq []itemCount
+	for it, txs := range m.item2tx {
+		if c := txs.Count(); c >= minSupport {
+			freq = append(freq, itemCount{it, c})
+		}
+	}
+	if len(freq) == 0 {
+		return nil
+	}
+	sort.Slice(freq, func(a, b int) bool {
+		if freq[a].count != freq[b].count {
+			return freq[a].count < freq[b].count
+		}
+		return freq[a].item < freq[b].item
+	})
+	order := make([]int, len(freq))
+	for i, f := range freq {
+		order[i] = f.item
+	}
+
+	var results []Itemset
+	addMaximal := func(items []int, support int) {
+		sorted := append([]int(nil), items...)
+		sort.Ints(sorted)
+		results = append(results, Itemset{Items: sorted, Support: support})
+	}
+
+	// Depth-first expansion of candidate groups.
+	var stack []candidateGroup
+	for i := range order {
+		g := candidateGroup{
+			head:    []int{order[i]},
+			tail:    append([]int(nil), order[i+1:]...),
+			headSet: m.item2tx[order[i]].Clone(),
+		}
+		stack = append(stack, g)
+	}
+	for len(stack) > 0 {
+		g := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		// Trim infrequent tail items relative to the head.
+		var liveTail []int
+		for _, it := range g.tail {
+			if m.supportWith(g.headSet, []int{it}) >= minSupport {
+				liveTail = append(liveTail, it)
+			}
+		}
+		if len(liveTail) == 0 {
+			addMaximal(g.head, g.headSet.Count())
+			continue
+		}
+		// Superset pruning: if head ∪ liveTail is frequent, it is the unique
+		// maximal set in this subtree — emit it and stop expanding.
+		if sup := m.supportWith(g.headSet, liveTail); sup >= minSupport {
+			addMaximal(append(append([]int(nil), g.head...), liveTail...), sup)
+			continue
+		}
+		// Expand: one subnode per tail item.
+		for i, it := range liveTail {
+			sub := candidateGroup{
+				head:    append(append([]int(nil), g.head...), it),
+				tail:    append([]int(nil), liveTail[i+1:]...),
+				headSet: g.headSet.Clone().And(m.item2tx[it]),
+			}
+			stack = append(stack, sub)
+		}
+	}
+
+	return dedupeMaximal(results)
+}
+
+// dedupeMaximal removes duplicates and itemsets subsumed by a superset.
+func dedupeMaximal(sets []Itemset) []Itemset {
+	// Longest first so subsumption checks only look at already-kept sets.
+	sort.Slice(sets, func(a, b int) bool {
+		if len(sets[a].Items) != len(sets[b].Items) {
+			return len(sets[a].Items) > len(sets[b].Items)
+		}
+		return lexLess(sets[a].Items, sets[b].Items)
+	})
+	var kept []Itemset
+	for _, s := range sets {
+		subsumed := false
+		for _, k := range kept {
+			if containsAllSorted(k.Items, s.Items) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			kept = append(kept, s)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool {
+		if kept[a].Support != kept[b].Support {
+			return kept[a].Support > kept[b].Support
+		}
+		return lexLess(kept[a].Items, kept[b].Items)
+	})
+	return kept
+}
+
+// containsAllSorted reports whether sorted slice sup contains every element
+// of sorted slice sub.
+func containsAllSorted(sup, sub []int) bool {
+	i := 0
+	for _, want := range sub {
+		for i < len(sup) && sup[i] < want {
+			i++
+		}
+		if i >= len(sup) || sup[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func lexLess(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// GroupByMaximal assigns each transaction to the first (highest-support)
+// maximal frequent itemset it fully contains. Transactions matching no
+// itemset get group -1. The return value maps transaction index -> group
+// index into the itemsets slice.
+func GroupByMaximal(transactions []*bitset.Set, itemsets []Itemset) []int {
+	groups := make([]int, len(transactions))
+	for tx, s := range transactions {
+		groups[tx] = -1
+		for gi, is := range itemsets {
+			ok := true
+			for _, it := range is.Items {
+				if it >= s.Width() || !s.Test(it) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				groups[tx] = gi
+				break
+			}
+		}
+	}
+	return groups
+}

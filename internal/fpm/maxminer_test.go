@@ -1,0 +1,199 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// classicDB is the textbook transaction database used in many FPM papers.
+var classicDB = [][]int{
+	{0, 1, 4},
+	{1, 3},
+	{1, 2},
+	{0, 1, 3},
+	{0, 2},
+	{1, 2},
+	{0, 2},
+	{0, 1, 2, 4},
+	{0, 1, 2},
+}
+
+func TestSupportCounts(t *testing.T) {
+	m := NewMiner(classicDB, 5)
+	cases := []struct {
+		items []int
+		want  int
+	}{
+		{[]int{0}, 6},
+		{[]int{1}, 7},
+		{[]int{2}, 6},
+		{[]int{3}, 2},
+		{[]int{4}, 2},
+		{[]int{0, 1}, 4},
+		{[]int{0, 2}, 4},
+		{[]int{1, 2}, 4},
+		{[]int{0, 1, 2}, 2},
+		{[]int{0, 1, 4}, 2},
+		{[]int{}, 9},
+	}
+	for _, c := range cases {
+		if got := m.Support(c.items); got != c.want {
+			t.Errorf("Support(%v) = %d, want %d", c.items, got, c.want)
+		}
+	}
+}
+
+// bruteMaximal computes maximal frequent itemsets by exhaustive enumeration.
+func bruteMaximal(db [][]int, numItems, minSup int) []Itemset {
+	m := NewMiner(db, numItems)
+	var frequent []Itemset
+	for mask := 1; mask < 1<<numItems; mask++ {
+		var items []int
+		for i := 0; i < numItems; i++ {
+			if mask&(1<<i) != 0 {
+				items = append(items, i)
+			}
+		}
+		if sup := m.Support(items); sup >= minSup {
+			frequent = append(frequent, Itemset{Items: items, Support: sup})
+		}
+	}
+	var maximal []Itemset
+	for i, f := range frequent {
+		isMax := true
+		for j, g := range frequent {
+			if i != j && len(g.Items) > len(f.Items) && containsAllSorted(g.Items, f.Items) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			maximal = append(maximal, f)
+		}
+	}
+	return canonical(maximal)
+}
+
+func canonical(sets []Itemset) []Itemset {
+	out := append([]Itemset(nil), sets...)
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a].Items) != len(out[b].Items) {
+			return len(out[a].Items) < len(out[b].Items)
+		}
+		return lexLess(out[a].Items, out[b].Items)
+	})
+	return out
+}
+
+func TestMaximalFrequentMatchesBruteForce(t *testing.T) {
+	for _, minSup := range []int{1, 2, 3, 4, 6} {
+		got := canonical(NewMiner(classicDB, 5).MaximalFrequent(minSup))
+		want := bruteMaximal(classicDB, 5, minSup)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("minSup=%d:\n got  %v\n want %v", minSup, got, want)
+		}
+	}
+}
+
+func TestMaximalFrequentEmptyWhenNothingFrequent(t *testing.T) {
+	m := NewMiner([][]int{{0}, {1}}, 2)
+	if got := m.MaximalFrequent(2); len(got) != 0 {
+		t.Fatalf("expected no frequent itemsets, got %v", got)
+	}
+}
+
+func TestMinSupportClampedToOne(t *testing.T) {
+	m := NewMiner([][]int{{0}}, 1)
+	got := m.MaximalFrequent(0)
+	if len(got) != 1 || got[0].Support != 1 {
+		t.Fatalf("minSupport 0 should behave as 1, got %v", got)
+	}
+}
+
+func TestNewMinerFromSetsEquivalent(t *testing.T) {
+	sets := make([]*bitset.Set, len(classicDB))
+	for i, items := range classicDB {
+		sets[i] = bitset.FromIndices(5, items...)
+	}
+	a := canonical(NewMiner(classicDB, 5).MaximalFrequent(2))
+	b := canonical(NewMinerFromSets(sets, 5).MaximalFrequent(2))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("list and bitset constructions disagree:\n%v\n%v", a, b)
+	}
+}
+
+func TestPropertyMaximalMatchesBruteForceRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numItems := 3 + r.Intn(5) // up to 7 items keeps brute force cheap
+		numTx := 3 + r.Intn(15)
+		db := make([][]int, numTx)
+		for i := range db {
+			for it := 0; it < numItems; it++ {
+				if r.Intn(3) == 0 {
+					db[i] = append(db[i], it)
+				}
+			}
+		}
+		minSup := 1 + r.Intn(3)
+		got := canonical(NewMiner(db, numItems).MaximalFrequent(minSup))
+		want := bruteMaximal(db, numItems, minSup)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByMaximal(t *testing.T) {
+	sets := []*bitset.Set{
+		bitset.FromIndices(4, 0, 1, 2),
+		bitset.FromIndices(4, 0, 1),
+		bitset.FromIndices(4, 3),
+		bitset.New(4),
+	}
+	itemsets := []Itemset{
+		{Items: []int{0, 1}, Support: 2},
+		{Items: []int{3}, Support: 1},
+	}
+	got := GroupByMaximal(sets, itemsets)
+	want := []int{0, 0, 1, -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupByMaximal = %v, want %v", got, want)
+	}
+}
+
+func TestGroupByMaximalPrefersEarlierItemset(t *testing.T) {
+	s := bitset.FromIndices(3, 0, 1, 2)
+	itemsets := []Itemset{
+		{Items: []int{2}},
+		{Items: []int{0, 1}},
+	}
+	got := GroupByMaximal([]*bitset.Set{s}, itemsets)
+	if got[0] != 0 {
+		t.Fatalf("expected first matching itemset, got group %d", got[0])
+	}
+}
+
+func BenchmarkMaxMiner200x50(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	const numItems, numTx = 50, 200
+	db := make([][]int, numTx)
+	for i := range db {
+		for it := 0; it < numItems; it++ {
+			if r.Intn(5) == 0 {
+				db[i] = append(db[i], it)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMiner(db, numItems)
+		_ = m.MaximalFrequent(numTx / 10)
+	}
+}

@@ -1,0 +1,241 @@
+// Package incentive builds a revenue-allocation mechanism on top of CTFL's
+// contribution scores — the "systematic incentive mechanism leveraging the
+// capabilities of CTFL" that the paper names as future work. It provides:
+//
+//   - payout rules that turn a score vector and a revenue pool into
+//     budget-balanced payments (proportional, floor-guaranteed, and
+//     softmax-tempered variants);
+//   - a Ledger that settles multiple epochs, tracks per-participant
+//     cumulative payouts, and maintains an exponentially decayed
+//     reputation from score history;
+//   - free-rider and cheater detection hooks combining the micro/macro
+//     divergence (replication signal) with the loss ratio (flip signal).
+package incentive
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// PayoutRule converts non-negative contribution scores into shares of a
+// revenue pool. Implementations must return shares that are non-negative
+// and sum to 1 (budget balance) whenever at least one score is positive.
+type PayoutRule interface {
+	Name() string
+	Shares(scores []float64) []float64
+}
+
+// Proportional pays each participant score_i / sum(scores) — the natural
+// reading of group rationality: credit mass maps linearly to money.
+type Proportional struct{}
+
+// Name implements PayoutRule.
+func (Proportional) Name() string { return "proportional" }
+
+// Shares implements PayoutRule.
+func (Proportional) Shares(scores []float64) []float64 {
+	out := clampNonNegative(scores)
+	if stats.Sum(out) == 0 {
+		return uniform(len(scores))
+	}
+	stats.Normalize(out)
+	return out
+}
+
+// Floored guarantees every participant a minimum share (participation
+// reward) and distributes the remainder proportionally — the standard fix
+// for cold-start clients whose data has not matched test instances yet.
+type Floored struct {
+	// MinShare per participant; n*MinShare must be <= 1.
+	MinShare float64
+}
+
+// Name implements PayoutRule.
+func (f Floored) Name() string { return fmt.Sprintf("floored(%.3f)", f.MinShare) }
+
+// Shares implements PayoutRule.
+func (f Floored) Shares(scores []float64) []float64 {
+	n := len(scores)
+	if f.MinShare < 0 || float64(n)*f.MinShare > 1 {
+		panic(fmt.Sprintf("incentive: invalid MinShare %v for %d participants", f.MinShare, n))
+	}
+	base := Proportional{}.Shares(scores)
+	rest := 1 - float64(n)*f.MinShare
+	for i := range base {
+		base[i] = f.MinShare + rest*base[i]
+	}
+	return base
+}
+
+// Tempered applies a softmax with temperature T to the scores: large T
+// flattens payouts toward uniform (solidarity), small T sharpens toward
+// winner-take-most (competition).
+type Tempered struct {
+	T float64
+}
+
+// Name implements PayoutRule.
+func (t Tempered) Name() string { return fmt.Sprintf("tempered(%.2f)", t.T) }
+
+// Shares implements PayoutRule.
+func (t Tempered) Shares(scores []float64) []float64 {
+	if t.T <= 0 {
+		panic("incentive: temperature must be positive")
+	}
+	out := make([]float64, len(scores))
+	lo, hi := stats.MinMax(scores)
+	if hi == lo {
+		return uniform(len(scores))
+	}
+	for i, s := range scores {
+		out[i] = math.Exp((s - hi) / (t.T * (hi - lo)))
+	}
+	stats.Normalize(out)
+	return out
+}
+
+func clampNonNegative(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			out[i] = x
+		}
+	}
+	return out
+}
+
+func uniform(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1 / float64(n)
+	}
+	return out
+}
+
+// Epoch is one settlement period's inputs.
+type Epoch struct {
+	// Micro and Macro are CTFL's score vectors for the period.
+	Micro, Macro []float64
+	// LossRatio is the per-participant loss share (Suspicion report).
+	LossRatio []float64
+	// Revenue is the pool to distribute.
+	Revenue float64
+}
+
+// Settlement is one epoch's outcome.
+type Settlement struct {
+	Payouts []float64
+	Flags   []Flag
+}
+
+// Flag marks a participant for review.
+type Flag struct {
+	Participant int
+	Reason      string
+}
+
+// Ledger settles epochs and accumulates reputation.
+type Ledger struct {
+	// Rule is the payout rule applied to micro scores. Defaults to
+	// Proportional.
+	Rule PayoutRule
+	// ReputationDecay in (0,1]: reputation_t = decay*reputation_{t-1} +
+	// (1-decay)*share_t. Defaults to 0.8.
+	ReputationDecay float64
+	// ReplicationTolerance is the micro-minus-macro share divergence above
+	// which a replication flag is raised. Defaults to 0.15.
+	ReplicationTolerance float64
+	// FlipTolerance is the loss-ratio threshold for a label-flip flag.
+	// Defaults to 0.5.
+	FlipTolerance float64
+
+	n          int
+	reputation []float64
+	cumulative []float64
+	epochs     int
+}
+
+// NewLedger creates a ledger for n participants.
+func NewLedger(n int) *Ledger {
+	return &Ledger{
+		Rule:                 Proportional{},
+		ReputationDecay:      0.8,
+		ReplicationTolerance: 0.15,
+		FlipTolerance:        0.5,
+		n:                    n,
+		reputation:           make([]float64, n),
+		cumulative:           make([]float64, n),
+	}
+}
+
+// Settle distributes the epoch's revenue and updates reputations. Flags are
+// advisory: payouts are not withheld automatically (that policy belongs to
+// the federation operator), but flagged shares are listed for review.
+func (l *Ledger) Settle(e Epoch) (*Settlement, error) {
+	if len(e.Micro) != l.n || len(e.Macro) != l.n {
+		return nil, fmt.Errorf("incentive: epoch has %d/%d scores, ledger has %d participants",
+			len(e.Micro), len(e.Macro), l.n)
+	}
+	if e.Revenue < 0 {
+		return nil, fmt.Errorf("incentive: negative revenue %v", e.Revenue)
+	}
+	shares := l.Rule.Shares(e.Micro)
+	s := &Settlement{Payouts: make([]float64, l.n)}
+	for i := range shares {
+		s.Payouts[i] = shares[i] * e.Revenue
+		l.cumulative[i] += s.Payouts[i]
+		l.reputation[i] = l.ReputationDecay*l.reputation[i] + (1-l.ReputationDecay)*shares[i]
+	}
+
+	microShare := Proportional{}.Shares(e.Micro)
+	macroShare := Proportional{}.Shares(e.Macro)
+	for i := 0; i < l.n; i++ {
+		if microShare[i]-macroShare[i] > l.ReplicationTolerance {
+			s.Flags = append(s.Flags, Flag{
+				Participant: i,
+				Reason: fmt.Sprintf("micro share %.3f exceeds macro share %.3f: possible data replication",
+					microShare[i], macroShare[i]),
+			})
+		}
+		if len(e.LossRatio) == l.n && e.LossRatio[i] > l.FlipTolerance {
+			s.Flags = append(s.Flags, Flag{
+				Participant: i,
+				Reason:      fmt.Sprintf("loss ratio %.2f above %.2f: possible label flipping", e.LossRatio[i], l.FlipTolerance),
+			})
+		}
+	}
+	l.epochs++
+	return s, nil
+}
+
+// Reputation returns the decayed reputation vector (copy).
+func (l *Ledger) Reputation() []float64 {
+	return append([]float64(nil), l.reputation...)
+}
+
+// Cumulative returns total payouts so far (copy).
+func (l *Ledger) Cumulative() []float64 {
+	return append([]float64(nil), l.cumulative...)
+}
+
+// Epochs returns the number of settled epochs.
+func (l *Ledger) Epochs() int { return l.epochs }
+
+// FreeRiders returns participants whose reputation sits below frac of the
+// uniform share after at least minEpochs settlements — clients that keep
+// participating without contributing matched data.
+func (l *Ledger) FreeRiders(frac float64, minEpochs int) []int {
+	if l.epochs < minEpochs {
+		return nil
+	}
+	threshold := frac / float64(l.n)
+	var out []int
+	for i, r := range l.reputation {
+		if r < threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}

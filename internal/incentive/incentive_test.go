@@ -1,0 +1,211 @@
+package incentive
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func assertBudgetBalanced(t *testing.T, shares []float64, name string) {
+	t.Helper()
+	sum := 0.0
+	for _, s := range shares {
+		if s < -1e-12 {
+			t.Fatalf("%s produced negative share %v", name, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("%s shares sum to %v", name, sum)
+	}
+}
+
+func TestProportionalShares(t *testing.T) {
+	got := Proportional{}.Shares([]float64{0.1, 0.3})
+	if math.Abs(got[0]-0.25) > 1e-12 || math.Abs(got[1]-0.75) > 1e-12 {
+		t.Fatalf("shares = %v", got)
+	}
+	// Negative scores are clamped before normalizing.
+	got = Proportional{}.Shares([]float64{-0.5, 0.5})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("negative clamp: %v", got)
+	}
+	// All-zero falls back to uniform.
+	got = Proportional{}.Shares([]float64{0, 0, 0})
+	for _, s := range got {
+		if math.Abs(s-1.0/3) > 1e-12 {
+			t.Fatalf("zero fallback: %v", got)
+		}
+	}
+}
+
+func TestFlooredShares(t *testing.T) {
+	f := Floored{MinShare: 0.1}
+	got := f.Shares([]float64{0, 1, 1})
+	if got[0] != 0.1 {
+		t.Fatalf("floor not applied: %v", got)
+	}
+	assertBudgetBalanced(t, got, f.Name())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("infeasible floor should panic")
+		}
+	}()
+	Floored{MinShare: 0.6}.Shares([]float64{1, 1})
+}
+
+func TestTemperedShares(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.7}
+	hot := Tempered{T: 10}.Shares(scores)
+	cold := Tempered{T: 0.05}.Shares(scores)
+	assertBudgetBalanced(t, hot, "tempered hot")
+	assertBudgetBalanced(t, cold, "tempered cold")
+	// High temperature flattens; low temperature sharpens.
+	if hot[2]-hot[0] > cold[2]-cold[0] {
+		t.Fatalf("temperature direction wrong: hot %v cold %v", hot, cold)
+	}
+	// Constant scores → uniform.
+	u := Tempered{T: 1}.Shares([]float64{0.4, 0.4})
+	if u[0] != 0.5 {
+		t.Fatalf("constant scores: %v", u)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive temperature should panic")
+		}
+	}()
+	Tempered{}.Shares(scores)
+}
+
+func TestPropertyAllRulesBudgetBalanced(t *testing.T) {
+	rules := []PayoutRule{Proportional{}, Floored{MinShare: 0.05}, Tempered{T: 1}}
+	f := func(seed int64) bool {
+		r := stats.NewRNG(seed)
+		n := 2 + r.Intn(8)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = r.Float64()
+		}
+		for _, rule := range rules {
+			shares := rule.Shares(scores)
+			sum := 0.0
+			for _, s := range shares {
+				if s < -1e-12 {
+					return false
+				}
+				sum += s
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedgerSettlement(t *testing.T) {
+	l := NewLedger(3)
+	s, err := l.Settle(Epoch{
+		Micro:   []float64{0.2, 0.2, 0.6},
+		Macro:   []float64{0.3, 0.3, 0.4},
+		Revenue: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats.Sum(s.Payouts)-1000) > 1e-6 {
+		t.Fatalf("payouts sum to %v", stats.Sum(s.Payouts))
+	}
+	if math.Abs(s.Payouts[2]-600) > 1e-6 {
+		t.Fatalf("participant 2 payout = %v, want 600", s.Payouts[2])
+	}
+	if l.Epochs() != 1 {
+		t.Fatalf("epochs = %d", l.Epochs())
+	}
+	cum := l.Cumulative()
+	if math.Abs(cum[2]-600) > 1e-6 {
+		t.Fatalf("cumulative = %v", cum)
+	}
+}
+
+func TestLedgerFlagsReplicationAndFlip(t *testing.T) {
+	l := NewLedger(3)
+	s, err := l.Settle(Epoch{
+		// Participant 0's micro share (0.6) far exceeds its macro share
+		// (0.2): replication signature.
+		Micro:     []float64{0.6, 0.2, 0.2},
+		Macro:     []float64{0.2, 0.4, 0.4},
+		LossRatio: []float64{0.1, 0.8, 0.1}, // participant 1: flip signature
+		Revenue:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repl, flip bool
+	for _, f := range s.Flags {
+		if f.Participant == 0 && strings.Contains(f.Reason, "replication") {
+			repl = true
+		}
+		if f.Participant == 1 && strings.Contains(f.Reason, "flipping") {
+			flip = true
+		}
+	}
+	if !repl || !flip {
+		t.Fatalf("flags missing: %+v", s.Flags)
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	l := NewLedger(2)
+	if _, err := l.Settle(Epoch{Micro: []float64{1}, Macro: []float64{1, 1}, Revenue: 1}); err == nil {
+		t.Fatal("score length mismatch should error")
+	}
+	if _, err := l.Settle(Epoch{Micro: []float64{1, 1}, Macro: []float64{1, 1}, Revenue: -5}); err == nil {
+		t.Fatal("negative revenue should error")
+	}
+}
+
+func TestReputationDecayAndFreeRiders(t *testing.T) {
+	l := NewLedger(3)
+	l.ReputationDecay = 0.5
+	for e := 0; e < 5; e++ {
+		if _, err := l.Settle(Epoch{
+			Micro:   []float64{0.5, 0.5, 0.0}, // participant 2 never contributes
+			Macro:   []float64{0.5, 0.5, 0.0},
+			Revenue: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := l.Reputation()
+	if rep[2] >= rep[0] {
+		t.Fatalf("free rider reputation not lower: %v", rep)
+	}
+	riders := l.FreeRiders(0.5, 3)
+	if len(riders) != 1 || riders[0] != 2 {
+		t.Fatalf("free riders = %v, want [2]", riders)
+	}
+	// Before minEpochs nothing is reported.
+	fresh := NewLedger(3)
+	if got := fresh.FreeRiders(0.5, 1); got != nil {
+		t.Fatalf("fresh ledger reported riders: %v", got)
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	if (Proportional{}).Name() != "proportional" {
+		t.Fatal("proportional name")
+	}
+	if !strings.Contains((Floored{MinShare: 0.1}).Name(), "floored") {
+		t.Fatal("floored name")
+	}
+	if !strings.Contains((Tempered{T: 2}).Name(), "tempered") {
+		t.Fatal("tempered name")
+	}
+}

@@ -1,0 +1,342 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in general inequality form. It exists to support the LeastCore
+// baseline valuation scheme (Yan & Procaccia 2021), which solves
+//
+//	minimize e
+//	s.t.     sum_{i in S} phi(i) + e >= v(D_S)   for sampled coalitions S
+//	         sum_{i in N} phi(i)       = v(D_N)
+//
+// The solver accepts problems of the form
+//
+//	minimize  c . x
+//	s.t.      A x (<=|=|>=) b,   x free or bounded below
+//
+// Free variables are handled by the standard x = x+ - x- split, so callers
+// can express contribution scores that may legitimately be negative.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ConstraintOp is the relational operator of one constraint row.
+type ConstraintOp int
+
+// Supported constraint operators.
+const (
+	LE ConstraintOp = iota // <=
+	GE                     // >=
+	EQ                     // ==
+)
+
+func (op ConstraintOp) String() string {
+	switch op {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("ConstraintOp(%d)", int(op))
+	}
+}
+
+// Constraint is one row a.x (op) b.
+type Constraint struct {
+	Coeffs []float64
+	Op     ConstraintOp
+	RHS    float64
+}
+
+// Problem is a minimization LP over n variables.
+type Problem struct {
+	// Objective has length n: minimize Objective . x.
+	Objective []float64
+	// Constraints rows; every Coeffs slice must have length n.
+	Constraints []Constraint
+	// FreeVars marks variables allowed to take negative values.
+	// Unmarked variables are constrained to x >= 0.
+	FreeVars []bool
+}
+
+// Solution is the optimum of a Problem.
+type Solution struct {
+	X         []float64 // optimal variable assignment, length n
+	Objective float64   // optimal objective value c.x
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+)
+
+const (
+	eps           = 1e-9
+	maxIterFactor = 200
+)
+
+// Solve optimizes the problem with the two-phase simplex method.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return nil, errors.New("lp: empty objective")
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coeffs, want %d", i, len(c.Coeffs), n)
+		}
+	}
+	if p.FreeVars != nil && len(p.FreeVars) != n {
+		return nil, fmt.Errorf("lp: FreeVars length %d, want %d", len(p.FreeVars), n)
+	}
+
+	// Expand free variables: x_j = x_j+ - x_j-.
+	// cols maps each original variable to its (plus, minus) column; minus is
+	// -1 for non-free variables.
+	type split struct{ plus, minus int }
+	cols := make([]split, n)
+	ncols := 0
+	for j := 0; j < n; j++ {
+		cols[j].plus = ncols
+		ncols++
+		if p.FreeVars != nil && p.FreeVars[j] {
+			cols[j].minus = ncols
+			ncols++
+		} else {
+			cols[j].minus = -1
+		}
+	}
+
+	m := len(p.Constraints)
+	// Standard form: A'x' = b with b >= 0, x' >= 0, after adding slack and
+	// surplus columns. Artificial variables complete the identity basis.
+	// Count extra columns.
+	slackCols := 0
+	for _, c := range p.Constraints {
+		if c.Op != EQ {
+			slackCols++
+		}
+	}
+	total := ncols + slackCols + m // + m artificials (some may be unused but harmless)
+
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	basis := make([]int, m)
+	artStart := ncols + slackCols
+	slackAt := ncols
+	for i, c := range p.Constraints {
+		row := make([]float64, total)
+		rhs := c.RHS
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1
+		}
+		for j := 0; j < n; j++ {
+			v := sign * c.Coeffs[j]
+			row[cols[j].plus] = v
+			if cols[j].minus >= 0 {
+				row[cols[j].minus] = -v
+			}
+		}
+		rhs *= sign
+		op := c.Op
+		if sign < 0 {
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		switch op {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artStart+i] = 1
+			basis[i] = artStart + i
+		case EQ:
+			row[artStart+i] = 1
+			basis[i] = artStart + i
+		}
+		a[i] = row
+		b[i] = rhs
+	}
+
+	// Phase 1: minimize sum of artificials.
+	phase1 := make([]float64, total)
+	needPhase1 := false
+	for i := range basis {
+		if basis[i] >= artStart {
+			phase1[basis[i]] = 1
+			needPhase1 = true
+		}
+	}
+	if needPhase1 {
+		obj, err := simplex(a, b, basis, phase1, artStart)
+		if err != nil {
+			return nil, err
+		}
+		if obj > eps {
+			return nil, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate case).
+		for i, bj := range basis {
+			if bj < artStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(a[i][j]) > eps {
+					pivot(a, b, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Row is all zeros over real columns: redundant constraint,
+				// leave the zero-valued artificial in place; it cannot re-enter
+				// because phase 2 never selects artificial columns.
+				continue
+			}
+		}
+	}
+
+	// Phase 2: minimize real objective over split columns.
+	phase2 := make([]float64, total)
+	for j := 0; j < n; j++ {
+		phase2[cols[j].plus] = p.Objective[j]
+		if cols[j].minus >= 0 {
+			phase2[cols[j].minus] = -p.Objective[j]
+		}
+	}
+	obj, err := simplex(a, b, basis, phase2, artStart)
+	if err != nil {
+		return nil, err
+	}
+
+	xext := make([]float64, total)
+	for i, bj := range basis {
+		xext[bj] = b[i]
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = xext[cols[j].plus]
+		if cols[j].minus >= 0 {
+			x[j] -= xext[cols[j].minus]
+		}
+	}
+	return &Solution{X: x, Objective: obj}, nil
+}
+
+// simplex runs the primal simplex on the tableau (a, b) with the given basis,
+// minimizing c . x. Columns at index >= forbidFrom are never chosen as
+// entering columns (used to lock out artificials in phase 2). It returns the
+// optimal objective value and mutates a, b, basis in place.
+func simplex(a [][]float64, b []float64, basis []int, c []float64, forbidFrom int) (float64, error) {
+	m := len(a)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(a[0])
+	maxIter := maxIterFactor * (m + total)
+
+	// Reduced costs are computed directly each iteration: for the small/medium
+	// problems LeastCore produces (hundreds of rows) this dense O(m*n) scan per
+	// pivot is fast and numerically simple.
+	y := make([]float64, m) // multipliers c_B applied to rows
+
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range y {
+			y[i] = c[basis[i]]
+		}
+		// entering column: most negative reduced cost (Dantzig rule with a
+		// Bland fallback on near-ties to guarantee termination).
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if j >= forbidFrom && c[j] == 0 && !isBasic(basis, j) {
+				// Artificial column outside phase 1: never re-enter.
+				continue
+			}
+			red := c[j]
+			for i := 0; i < m; i++ {
+				red -= y[i] * a[i][j]
+			}
+			if red < best {
+				best = red
+				enter = j
+			}
+		}
+		if enter == -1 {
+			// optimal
+			obj := 0.0
+			for i := range basis {
+				obj += c[basis[i]] * b[i]
+			}
+			return obj, nil
+		}
+		// leaving row: min ratio test with Bland tie-break.
+		leave := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if a[i][enter] > eps {
+				ratio := b[i] / a[i][enter]
+				if ratio < minRatio-eps || (ratio < minRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					minRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(a, b, basis, leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded (cycling?)")
+}
+
+func isBasic(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// pivot performs a Gauss-Jordan pivot on element (row, col).
+func pivot(a [][]float64, b []float64, basis []int, row, col int) {
+	pr := a[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	b[row] *= inv
+	for i := range a {
+		if i == row {
+			continue
+		}
+		f := a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+		b[i] -= f * b[row]
+		if math.Abs(b[i]) < 1e-12 {
+			b[i] = 0
+		}
+	}
+	basis[row] = col
+}

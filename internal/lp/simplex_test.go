@@ -1,0 +1,291 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %v, want %v (tol %v)", msg, got, want, tol)
+	}
+}
+
+func TestSimple2D(t *testing.T) {
+	// minimize -x - 2y s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0.
+	// Optimum at (1,3): objective -7.
+	p := &Problem{
+		Objective: []float64{-1, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: LE, RHS: 4},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 2},
+			{Coeffs: []float64{0, 1}, Op: LE, RHS: 3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, -7, 1e-8, "objective")
+	approx(t, sol.X[0], 1, 1e-8, "x")
+	approx(t, sol.X[1], 3, 1e-8, "y")
+}
+
+func TestGEConstraintsNeedPhase1(t *testing.T) {
+	// minimize x + y s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+	// Optimum at intersection (1.6, 1.2): objective 2.8.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Op: GE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Op: GE, RHS: 6},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 2.8, 1e-8, "objective")
+	approx(t, sol.X[0], 1.6, 1e-8, "x")
+	approx(t, sol.X[1], 1.2, 1e-8, "y")
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y = 10, x <= 6. Optimum x=6,y=4: 24.
+	p := &Problem{
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 10},
+			{Coeffs: []float64{1, 0}, Op: LE, RHS: 6},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 24, 1e-8, "objective")
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 5},
+			{Coeffs: []float64{1}, Op: LE, RHS: 3},
+		},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := &Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Op: GE, RHS: 1},
+		},
+	}
+	if _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// minimize e s.t. x1 + e >= 0.8, x2 + e >= 0.5, x1 + x2 = 0.9,
+	// x1, x2, e free. This is a tiny least-core shape. The binding structure:
+	// minimize e with x1 >= 0.8 - e, x2 >= 0.5 - e, x1+x2 = 0.9
+	// => (0.8-e)+(0.5-e) <= 0.9 => e >= 0.2. So optimum e = 0.2.
+	p := &Problem{
+		Objective: []float64{0, 0, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0, 1}, Op: GE, RHS: 0.8},
+			{Coeffs: []float64{0, 1, 1}, Op: GE, RHS: 0.5},
+			{Coeffs: []float64{1, 1, 0}, Op: EQ, RHS: 0.9},
+		},
+		FreeVars: []bool{true, true, true},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 0.2, 1e-8, "min deficit e")
+	approx(t, sol.X[0]+sol.X[1], 0.9, 1e-8, "group rationality")
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// minimize x s.t. -x <= -3  (i.e. x >= 3).
+	p := &Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Op: LE, RHS: -3},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.X[0], 3, 1e-8, "x")
+}
+
+func TestDegenerateRedundantConstraints(t *testing.T) {
+	// Duplicate equality rows exercise the redundant-row handling in phase 1.
+	p := &Problem{
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{1, 1}, Op: EQ, RHS: 2},
+			{Coeffs: []float64{2, 2}, Op: EQ, RHS: 4},
+		},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sol.Objective, 2, 1e-8, "objective")
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Solve(&Problem{}); err == nil {
+		t.Fatal("expected error for empty objective")
+	}
+	p := &Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Op: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("expected error for ragged constraint")
+	}
+	p2 := &Problem{Objective: []float64{1}, FreeVars: []bool{true, false}}
+	if _, err := Solve(p2); err == nil {
+		t.Fatal("expected error for FreeVars length mismatch")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("ConstraintOp String wrong")
+	}
+	if ConstraintOp(9).String() == "" {
+		t.Fatal("unknown op should still render")
+	}
+}
+
+// TestPropertySolutionFeasible checks that on random feasible problems the
+// returned point satisfies every constraint and has no worse objective than
+// a sampled feasible point.
+func TestPropertySolutionFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(5)
+		// Build constraints guaranteed feasible at a random positive point x0.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = r.Float64() * 5
+		}
+		p := &Problem{Objective: make([]float64, n)}
+		for i := range p.Objective {
+			p.Objective[i] = r.Float64()*2 - 0.5 // mostly positive => bounded below with x>=0
+		}
+		for i := 0; i < n; i++ {
+			if p.Objective[i] < 0 {
+				p.Objective[i] = 0.1 // keep bounded
+			}
+		}
+		for k := 0; k < m; k++ {
+			c := Constraint{Coeffs: make([]float64, n), Op: LE}
+			dot := 0.0
+			for j := range c.Coeffs {
+				c.Coeffs[j] = r.Float64()*4 - 2
+				dot += c.Coeffs[j] * x0[j]
+			}
+			slackAmt := r.Float64()
+			if r.Intn(2) == 0 {
+				c.Op = LE
+				c.RHS = dot + slackAmt
+			} else {
+				c.Op = GE
+				c.RHS = dot - slackAmt
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Feasibility check.
+		for _, c := range p.Constraints {
+			dot := 0.0
+			for j := range c.Coeffs {
+				dot += c.Coeffs[j] * sol.X[j]
+			}
+			switch c.Op {
+			case LE:
+				if dot > c.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if dot < c.RHS-1e-6 {
+					return false
+				}
+			}
+		}
+		for _, x := range sol.X {
+			if x < -1e-6 {
+				return false
+			}
+		}
+		// Optimality sanity: objective at sol <= objective at x0.
+		objAt := func(x []float64) float64 {
+			s := 0.0
+			for j := range x {
+				s += p.Objective[j] * x[j]
+			}
+			return s
+		}
+		return sol.Objective <= objAt(x0)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSolveLeastCoreShape(b *testing.B) {
+	// 8 players, ~180 sampled coalition constraints — the shape LeastCore
+	// produces at the paper's default n=8 with n^2 log n sampling.
+	r := rand.New(rand.NewSource(42))
+	n := 9 // 8 scores + deficit e
+	var cons []Constraint
+	for k := 0; k < 180; k++ {
+		c := Constraint{Coeffs: make([]float64, n), Op: GE, RHS: r.Float64()}
+		for j := 0; j < 8; j++ {
+			if r.Intn(2) == 0 {
+				c.Coeffs[j] = 1
+			}
+		}
+		c.Coeffs[8] = 1
+		cons = append(cons, c)
+	}
+	eqRow := Constraint{Coeffs: make([]float64, n), Op: EQ, RHS: 0.9}
+	for j := 0; j < 8; j++ {
+		eqRow.Coeffs[j] = 1
+	}
+	cons = append(cons, eqRow)
+	obj := make([]float64, n)
+	obj[8] = 1
+	free := make([]bool, n)
+	for i := range free {
+		free[i] = true
+	}
+	p := &Problem{Objective: obj, Constraints: cons, FreeVars: free}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package multiclass
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+func TestTriageGenerator(t *testing.T) {
+	r := stats.NewRNG(1)
+	tab := Triage(r, 2000)
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumClasses() != 3 {
+		t.Fatalf("classes = %d", tab.NumClasses())
+	}
+	var counts [3]int
+	for _, in := range tab.Instances {
+		counts[in.Class]++
+	}
+	for c, n := range counts {
+		if n < 100 {
+			t.Fatalf("class %d has only %d rows — degenerate generator", c, n)
+		}
+	}
+	// Planted rule sanity: severe auth incidents without workaround should
+	// be mostly high urgency.
+	hi, n := 0, 0
+	for _, in := range tab.Instances {
+		if in.Values[0] > 8 && int(in.Values[2]) == 0 && int(in.Values[3]) == 1 && in.Values[1] > 20000 {
+			n++
+			if in.Class == 2 {
+				hi++
+			}
+		}
+	}
+	if n > 0 && float64(hi)/float64(n) < 0.8 {
+		t.Fatalf("high-urgency rule not planted: %d/%d", hi, n)
+	}
+}
+
+func TestTableValidateErrors(t *testing.T) {
+	s := TriageSchema()
+	bad := &Table{Schema: s, ClassNames: []string{"only"}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("single class should be invalid")
+	}
+	bad2 := &Table{Schema: s, ClassNames: TriageClassNames(), Instances: []Instance{
+		{Values: []float64{1}, Class: 0},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("short row should be invalid")
+	}
+	bad3 := &Table{Schema: s, ClassNames: TriageClassNames(), Instances: []Instance{
+		{Values: make([]float64, 5), Class: 3},
+	}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("class out of range should be invalid")
+	}
+}
+
+func TestBinaryView(t *testing.T) {
+	r := stats.NewRNG(2)
+	tab := Triage(r, 300)
+	for k := 0; k < 3; k++ {
+		bin := tab.Binary(k)
+		if bin.Len() != tab.Len() {
+			t.Fatalf("binary view lost rows")
+		}
+		for i, in := range bin.Instances {
+			want := 0
+			if tab.Instances[i].Class == k {
+				want = 1
+			}
+			if in.Label != want {
+				t.Fatalf("binary(%d) row %d label %d, want %d", k, i, in.Label, want)
+			}
+		}
+		if err := bin.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	r := stats.NewRNG(3)
+	tab := Triage(r, 500)
+	train, test := tab.Split(r, 0.2)
+	if train.Len()+test.Len() != 500 {
+		t.Fatalf("split lost rows: %d + %d", train.Len(), test.Len())
+	}
+	if test.Len() != 100 {
+		t.Fatalf("test size = %d", test.Len())
+	}
+}
+
+func TestPartitionByClassAffinity(t *testing.T) {
+	r := stats.NewRNG(4)
+	tab := Triage(r, 3000)
+	parts := PartitionByClassAffinity(tab, 3, 0.9, r)
+	total := 0
+	for i, p := range parts {
+		total += p.Data.Len()
+		if p.Data.Len() == 0 {
+			t.Fatalf("participant %d empty", i)
+		}
+		// Participant i should be dominated by class i (bias 0.9, n == k).
+		var counts [3]int
+		for _, in := range p.Data.Instances {
+			counts[in.Class]++
+		}
+		affineClass := i % 3
+		if counts[affineClass]*2 < p.Data.Len() {
+			t.Fatalf("participant %d not biased to class %d: %v", i, affineClass, counts)
+		}
+	}
+	if total != 3000 {
+		t.Fatalf("partition lost rows: %d", total)
+	}
+}
+
+func trainTriage(t *testing.T) (*Model, []*Participant, *Table) {
+	t.Helper()
+	r := stats.NewRNG(5)
+	tab := Triage(r, 1500)
+	train, test := tab.Split(r, 0.2)
+	parts := PartitionByClassAffinity(train, 3, 0.8, r)
+	enc, err := dataset.NewEncoder(tab.Schema, 8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centralized training on the union (the OvR trainer API takes one
+	// table; FedAvg composition is exercised in the binary packages).
+	union := &Table{Schema: tab.Schema, ClassNames: tab.ClassNames}
+	for _, p := range parts {
+		union.Instances = append(union.Instances, p.Data.Instances...)
+	}
+	m, err := Train(union, enc, nn.Config{
+		Hidden: []int{48}, Epochs: 30, Grafting: true, Seed: 7,
+		L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, parts, test
+}
+
+func TestMulticlassLearnsTriage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	m, _, test := trainTriage(t)
+	acc := m.Accuracy(test)
+	t.Logf("triage 3-class accuracy: %.3f", acc)
+	// Majority class is well under 60%; the OvR model must beat it clearly.
+	if acc < 0.65 {
+		t.Fatalf("accuracy %.3f too low", acc)
+	}
+	if m.Rules(0) == nil || m.Rules(2) == nil {
+		t.Fatal("per-class rule sets missing")
+	}
+}
+
+func TestMulticlassTracingScores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	m, parts, test := trainTriage(t)
+	est := NewEstimator(m, parts, core.Config{TauW: 0.8})
+	res := est.Trace(test)
+	if res.TestSize != test.Len() {
+		t.Fatalf("test size = %d", res.TestSize)
+	}
+	micro := res.MicroScores()
+	if len(micro) != 3 {
+		t.Fatalf("micro = %v", micro)
+	}
+	sum := stats.Sum(micro)
+	if sum <= 0 || sum > res.Accuracy()+1e-9 {
+		t.Fatalf("micro sum %v outside (0, accuracy=%v]", sum, res.Accuracy())
+	}
+	macro := res.MacroScores(2)
+	if stats.Sum(macro) <= 0 {
+		t.Fatalf("macro = %v", macro)
+	}
+	// Class-affine participants should each earn a non-trivial share: the
+	// three classes all appear in the test set.
+	for i, s := range micro {
+		if s <= 0 {
+			t.Fatalf("participant %d earned nothing: %v", i, micro)
+		}
+	}
+	// Accuracy consistency between model and result.
+	if math.Abs(res.Accuracy()-m.Accuracy(test)) > 1e-12 {
+		t.Fatalf("result accuracy %v vs model %v", res.Accuracy(), m.Accuracy(test))
+	}
+}
+
+func TestMacroDeltaClamp(t *testing.T) {
+	r := &Result{NumParticipants: 2, TestSize: 1, Pred: []int{0}, Truth: []int{0}, Counts: [][]int{{1, 0}}}
+	if got := r.MacroScores(0); got[0] != 1 {
+		t.Fatalf("delta 0 should clamp to 1: %v", got)
+	}
+	if got := r.MicroScores(); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("micro = %v", got)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	r := &Result{NumParticipants: 2}
+	if r.Accuracy() != 0 || stats.Sum(r.MicroScores()) != 0 || stats.Sum(r.MacroScores(1)) != 0 {
+		t.Fatal("empty result should be all zeros")
+	}
+}

@@ -1,0 +1,374 @@
+// Package nn implements the practical rule-based model of CTFL Section V: a
+// logical neural network whose hidden nodes compute soft conjunctions and
+// disjunctions over encoded predicates (Eq. 7), topped by a linear voting
+// head, and trained with gradient grafting so that the deployed model has
+// hard {0,1} logical weights and therefore produces non-fuzzy, traceable
+// rules.
+//
+// Architecture (paper Fig. 3):
+//
+//	encoded predicates (from dataset.Encoder; the binarization layer with
+//	random bounds lives there)
+//	  -> logical layer 1 (half conjunction, half disjunction nodes)
+//	  -> ... optional further logical layers with skip connections ...
+//	  -> linear head over the concatenation of all logical layers' outputs
+//
+// The classification rule is the paper's Eq. 3: nodes whose head weight is
+// positive act as positive rules r+, negative head weights as negative rules
+// r-, and the model predicts the positive class iff the weighted vote
+// crosses the bias threshold.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config controls model shape and training.
+type Config struct {
+	// Hidden lists the node count of each logical layer. Each layer is split
+	// half conjunction / half disjunction nodes. Default: one layer of 64.
+	Hidden []int
+	// LearningRate for Adam. Default 0.05.
+	LearningRate float64
+	// Epochs of local training. Default 60.
+	Epochs int
+	// BatchSize for mini-batch SGD. Default 64.
+	BatchSize int
+	// Grafting selects gradient-grafted training of the binarized model
+	// (the paper's method). When false, training optimizes the continuous
+	// model and binarizes post hoc — the ablation baseline.
+	Grafting bool
+	// L1Logic applies an L1 penalty to the logical weights, pruning rule
+	// operands so the extracted rules stay crisp and small. Default 0.
+	L1Logic float64
+	// L2Head applies weight decay to the linear head, keeping rule
+	// importance weights bounded. Default 0.
+	L2Head float64
+	// FreezeBias pins the head bias at zero, making the deployed model
+	// exactly the paper's Eq. 3 vote 1[w+·r+ >= w−·r−]. Without a bias the
+	// model cannot fall back on a majority-class default, so every
+	// prediction is carried by activated rules and stays traceable.
+	FreezeBias bool
+	// KeepBest restores, at the end of each TrainEpochs call, the parameter
+	// snapshot with the highest binarized training accuracy seen after any
+	// epoch. Grafted training of hard-threshold models is non-monotone; the
+	// deployed model is the binarized one, so selecting its best snapshot is
+	// the natural stopping rule.
+	KeepBest bool
+	// Seed for weight initialization and batch shuffling.
+	Seed int64
+	// Workers bounds the goroutines used for batch-parallel gradient
+	// computation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64}
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// layerKind tags each logical node.
+const (
+	nodeConj = iota
+	nodeDisj
+)
+
+// logicalLayer holds one layer's continuous weights. weights[n][i] is the
+// involvement degree of input i in node n, constrained to [0,1].
+type logicalLayer struct {
+	inDim   int
+	numConj int
+	numDisj int
+	weights [][]float64
+}
+
+func (l *logicalLayer) size() int { return l.numConj + l.numDisj }
+
+// nodeKind reports whether node n is a conjunction or disjunction node.
+func (l *logicalLayer) nodeKind(n int) int {
+	if n < l.numConj {
+		return nodeConj
+	}
+	return nodeDisj
+}
+
+// Model is a logical neural network for binary classification.
+type Model struct {
+	cfg    Config
+	inDim  int
+	layers []*logicalLayer
+	// ruleDim is the total number of logical nodes across layers = the
+	// number of candidate rules.
+	ruleDim int
+	// headW and headB form the linear voting head over rule activations.
+	// These stay continuous (the paper binarizes every layer except the one
+	// feeding the linear classifier).
+	headW []float64
+	headB float64
+
+	opt *adamState
+}
+
+// New creates a model for inputs of width inDim using cfg.
+func New(inDim int, cfg Config) (*Model, error) {
+	if inDim <= 0 {
+		return nil, fmt.Errorf("nn: inDim must be positive, got %d", inDim)
+	}
+	cfg = cfg.withDefaults()
+	for i, h := range cfg.Hidden {
+		if h < 2 {
+			return nil, fmt.Errorf("nn: hidden layer %d has %d nodes, need >= 2", i, h)
+		}
+	}
+	m := &Model{cfg: cfg, inDim: inDim}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	prev := inDim
+	for _, h := range cfg.Hidden {
+		l := &logicalLayer{inDim: prev, numConj: h / 2, numDisj: h - h/2}
+		l.weights = make([][]float64, h)
+		for n := range l.weights {
+			w := make([]float64, prev)
+			for i := range w {
+				// Small positive init keeps soft products near their neutral
+				// element so early gradients do not vanish; a few weights are
+				// seeded above the 0.5 binarization threshold so the grafted
+				// (discrete) model is non-constant from the start.
+				w[i] = r.Float64() * 0.2
+				if r.Float64() < 2.0/float64(prev) {
+					w[i] = 0.5 + r.Float64()*0.3
+				}
+			}
+			l.weights[n] = w
+		}
+		m.layers = append(m.layers, l)
+		m.ruleDim += h
+		// Skip connection: the next layer sees the original predicates too.
+		prev = inDim + h
+	}
+	m.headW = make([]float64, m.ruleDim)
+	for i := range m.headW {
+		m.headW[i] = (r.Float64() - 0.5) * 0.2
+	}
+	m.opt = newAdam(m.numParams())
+	return m, nil
+}
+
+// InDim returns the expected input width.
+func (m *Model) InDim() int { return m.inDim }
+
+// RuleDim returns the number of candidate rules (logical nodes).
+func (m *Model) RuleDim() int { return m.ruleDim }
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// HeadWeights returns the linear head weights over rule activations (live
+// slice; callers must not modify).
+func (m *Model) HeadWeights() []float64 { return m.headW }
+
+// HeadBias returns the linear head bias.
+func (m *Model) HeadBias() float64 { return m.headB }
+
+// fwdBuffers holds per-sample forward activations reused across calls.
+type fwdBuffers struct {
+	// layerIn[k] is the input vector to layer k (with skip concat),
+	// layerOut[k] its output.
+	layerIn  [][]float64
+	layerOut [][]float64
+	rules    []float64
+}
+
+func (m *Model) newBuffers() *fwdBuffers {
+	b := &fwdBuffers{rules: make([]float64, m.ruleDim)}
+	prev := m.inDim
+	for _, l := range m.layers {
+		b.layerIn = append(b.layerIn, make([]float64, prev))
+		b.layerOut = append(b.layerOut, make([]float64, l.size()))
+		prev = m.inDim + l.size()
+	}
+	return b
+}
+
+// forward computes the score of x. When discrete is true the logical
+// weights are binarized at 0.5 (the deployed model); otherwise the soft
+// continuous activations of Eq. 7 are used. Returns the pre-sigmoid score.
+func (m *Model) forward(x []float64, discrete bool, b *fwdBuffers) float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), m.inDim))
+	}
+	ri := 0
+	for k, l := range m.layers {
+		in := b.layerIn[k]
+		if k == 0 {
+			copy(in, x)
+		} else {
+			copy(in, x)
+			copy(in[m.inDim:], b.layerOut[k-1])
+		}
+		out := b.layerOut[k]
+		for n := 0; n < l.size(); n++ {
+			w := l.weights[n]
+			if l.nodeKind(n) == nodeConj {
+				out[n] = conjForward(in, w, discrete)
+			} else {
+				out[n] = disjForward(in, w, discrete)
+			}
+		}
+		copy(b.rules[ri:ri+l.size()], out)
+		ri += l.size()
+	}
+	s := m.headB
+	for j, r := range b.rules {
+		s += m.headW[j] * r
+	}
+	return s
+}
+
+// conjForward computes Conj(x,w) = prod_i (1 - w_i (1 - x_i)).
+func conjForward(x, w []float64, discrete bool) float64 {
+	p := 1.0
+	for i, xi := range x {
+		wi := w[i]
+		if discrete {
+			if wi > 0.5 {
+				p *= xi
+			}
+			if p == 0 {
+				return 0
+			}
+			continue
+		}
+		p *= 1 - wi*(1-xi)
+	}
+	return p
+}
+
+// disjForward computes Disj(x,w) = 1 - prod_i (1 - x_i w_i).
+func disjForward(x, w []float64, discrete bool) float64 {
+	p := 1.0
+	for i, xi := range x {
+		wi := w[i]
+		if discrete {
+			if wi > 0.5 && xi > 0 {
+				return 1
+			}
+			continue
+		}
+		p *= 1 - xi*wi
+	}
+	return 1 - p
+}
+
+// Score returns the deployed (binarized) model's pre-threshold score for x:
+// positive score means the positive class wins the rule vote of Eq. 3.
+func (m *Model) Score(x []float64) float64 {
+	return m.forward(x, true, m.newBuffers())
+}
+
+// Predict returns the deployed model's label for x.
+func (m *Model) Predict(x []float64) int {
+	if m.Score(x) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// PredictBatch labels every row of xs using parallel workers.
+func (m *Model) PredictBatch(xs [][]float64) []int {
+	out := make([]int, len(xs))
+	m.parallelOver(len(xs), func(_ int, idx []int, buf *fwdBuffers) {
+		for _, i := range idx {
+			if m.forward(xs[i], true, buf) >= 0 {
+				out[i] = 1
+			}
+		}
+	})
+	return out
+}
+
+// Accuracy returns the deployed model's accuracy on (xs, ys).
+func (m *Model) Accuracy(xs [][]float64, ys []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	pred := m.PredictBatch(xs)
+	ok := 0
+	for i, p := range pred {
+		if p == ys[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(xs))
+}
+
+// RuleActivations fills dst (length RuleDim) with the binarized model's
+// {0,1} rule activation vector for x and returns it. This is the vector
+// CTFL's tracer consumes.
+func (m *Model) RuleActivations(x []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.ruleDim)
+	}
+	b := m.newBuffers()
+	m.forward(x, true, b)
+	copy(dst, b.rules)
+	return dst
+}
+
+// ScoreAndActivationsBatch computes, in one parallel pass over xs, the
+// deployed model's pre-threshold scores and {0,1} rule-activation vectors.
+// It is the batched form of Score + RuleActivations used by the tracer,
+// avoiding one redundant forward pass and per-row buffer allocation.
+func (m *Model) ScoreAndActivationsBatch(xs [][]float64) (scores []float64, acts [][]float64) {
+	scores = make([]float64, len(xs))
+	acts = make([][]float64, len(xs))
+	m.parallelOver(len(xs), func(_ int, idx []int, buf *fwdBuffers) {
+		for _, i := range idx {
+			scores[i] = m.forward(xs[i], true, buf)
+			row := make([]float64, m.ruleDim)
+			copy(row, buf.rules)
+			acts[i] = row
+		}
+	})
+	return scores, acts
+}
+
+// RuleSpec describes one logical node of the deployed model for the rule
+// extractor: which layer it lives in, its kind, and which input indices its
+// binarized weights select.
+type RuleSpec struct {
+	Layer    int
+	Node     int
+	Conj     bool
+	Selected []int // indices into the layer's input vector
+}
+
+// RuleSpecs enumerates every logical node's binarized structure, in rule
+// vector order (layer by layer).
+func (m *Model) RuleSpecs() []RuleSpec {
+	var specs []RuleSpec
+	for k, l := range m.layers {
+		for n := 0; n < l.size(); n++ {
+			spec := RuleSpec{Layer: k, Node: n, Conj: l.nodeKind(n) == nodeConj}
+			for i, w := range l.weights[n] {
+				if w > 0.5 {
+					spec.Selected = append(spec.Selected, i)
+				}
+			}
+			specs = append(specs, spec)
+		}
+	}
+	return specs
+}

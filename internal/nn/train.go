@@ -1,0 +1,484 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// adamState carries the Adam optimizer moments over the flattened parameters.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adamState {
+	return &adamState{m: make([]float64, n), v: make([]float64, n)}
+}
+
+const (
+	adamBeta1 = 0.9
+	adamBeta2 = 0.999
+	adamEps   = 1e-8
+)
+
+// step applies one Adam update of grad to params in place.
+func (a *adamState) step(params, grad []float64, lr float64) {
+	a.t++
+	bc1 := 1 - math.Pow(adamBeta1, float64(a.t))
+	bc2 := 1 - math.Pow(adamBeta2, float64(a.t))
+	for i, g := range grad {
+		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
+		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
+		mhat := a.m[i] / bc1
+		vhat := a.v[i] / bc2
+		params[i] -= lr * mhat / (math.Sqrt(vhat) + adamEps)
+	}
+}
+
+// numParams returns the flattened parameter count.
+func (m *Model) numParams() int {
+	n := 0
+	for _, l := range m.layers {
+		n += l.size() * l.inDim
+	}
+	return n + m.ruleDim + 1
+}
+
+// Params returns a flat copy of all trainable parameters (logical weights,
+// head weights, head bias), suitable for FedAvg aggregation.
+func (m *Model) Params() []float64 {
+	out := make([]float64, 0, m.numParams())
+	for _, l := range m.layers {
+		for _, w := range l.weights {
+			out = append(out, w...)
+		}
+	}
+	out = append(out, m.headW...)
+	out = append(out, m.headB)
+	return out
+}
+
+// SetParams overwrites all trainable parameters from a flat vector produced
+// by Params (possibly averaged across clients).
+func (m *Model) SetParams(p []float64) error {
+	if len(p) != m.numParams() {
+		return fmt.Errorf("nn: SetParams got %d values, want %d", len(p), m.numParams())
+	}
+	i := 0
+	for _, l := range m.layers {
+		for _, w := range l.weights {
+			copy(w, p[i:i+len(w)])
+			i += len(w)
+		}
+	}
+	copy(m.headW, p[i:i+m.ruleDim])
+	i += m.ruleDim
+	m.headB = p[i]
+	return nil
+}
+
+// Clone returns a deep copy of the model (including optimizer state reset).
+func (m *Model) Clone() *Model {
+	c, err := New(m.inDim, m.cfg)
+	if err != nil {
+		panic(err) // m was valid, so its config is valid
+	}
+	if err := c.SetParams(m.Params()); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// gradBuffers holds per-worker backprop scratch space.
+type gradBuffers struct {
+	fwd  *fwdBuffers // continuous pass (kept for partials)
+	fwdD *fwdBuffers // discrete pass (grafting)
+	// gOut[k] is d loss / d layer-k output; gIn[k] the gradient flowing to
+	// layer k's input vector.
+	gOut [][]float64
+	gIn  [][]float64
+	grad []float64 // flattened, same layout as Params
+}
+
+func (m *Model) newGradBuffers() *gradBuffers {
+	gb := &gradBuffers{fwd: m.newBuffers(), fwdD: m.newBuffers(), grad: make([]float64, m.numParams())}
+	for _, l := range m.layers {
+		gb.gOut = append(gb.gOut, make([]float64, l.size()))
+		gb.gIn = append(gb.gIn, make([]float64, l.inDim))
+	}
+	return gb
+}
+
+func sigmoid(s float64) float64 {
+	if s >= 0 {
+		return 1 / (1 + math.Exp(-s))
+	}
+	e := math.Exp(s)
+	return e / (1 + e)
+}
+
+// backprop accumulates into gb.grad the gradient of the logistic loss on one
+// sample. With grafting, the loss derivative is evaluated at the *binarized*
+// model's score while the parameter partials come from the continuous
+// forward pass — the paper's gradient grafting rule
+// θ^{t+1} = θ^t − η ∂L(Ȳ)/∂Ȳ · ∂Y/∂θ^t. It returns the sample loss.
+func (m *Model) backprop(x []float64, y int, grafting bool, gb *gradBuffers) float64 {
+	// Continuous forward fills gb.fwd with the activations used for partials.
+	sCont := m.forward(x, false, gb.fwd)
+	sUsed := sCont
+	if grafting {
+		sUsed = m.forward(x, true, gb.fwdD)
+	}
+	p := sigmoid(sUsed)
+	dLds := p - float64(y)
+
+	// Head gradients (continuous rule activations are the partials).
+	// Flat layout: logical weights first, then headW, then headB.
+	headOff := m.numParams() - m.ruleDim - 1
+	for j, r := range gb.fwd.rules {
+		gb.grad[headOff+j] += dLds * r
+	}
+	if !m.cfg.FreezeBias {
+		gb.grad[headOff+m.ruleDim] += dLds
+	}
+
+	// Seed rule gradients.
+	ri := 0
+	for k, l := range m.layers {
+		gOut := gb.gOut[k]
+		for n := 0; n < l.size(); n++ {
+			gOut[n] = dLds * m.headW[ri+n]
+		}
+		ri += l.size()
+	}
+
+	// Backward through layers, last to first. Layer k's input is
+	// concat(x, layerOut[k-1]); the part flowing into layerOut[k-1] is added
+	// to that layer's gOut.
+	wOff := make([]int, len(m.layers))
+	{
+		off := 0
+		for k, l := range m.layers {
+			wOff[k] = off
+			off += l.size() * l.inDim
+		}
+	}
+	for k := len(m.layers) - 1; k >= 0; k-- {
+		l := m.layers[k]
+		in := gb.fwd.layerIn[k]
+		gIn := gb.gIn[k]
+		for i := range gIn {
+			gIn[i] = 0
+		}
+		for n := 0; n < l.size(); n++ {
+			g := gb.gOut[k][n]
+			if g == 0 {
+				continue
+			}
+			w := l.weights[n]
+			base := wOff[k] + n*l.inDim
+			if l.nodeKind(n) == nodeConj {
+				conjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn)
+			} else {
+				disjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn)
+			}
+		}
+		if k > 0 {
+			// Route the skip-concat tail into the previous layer's output grad.
+			prevOut := gb.gOut[k-1]
+			for n := range prevOut {
+				prevOut[n] += gIn[m.inDim+n]
+			}
+		}
+	}
+
+	// Logistic loss value at the score the loss derivative was taken at.
+	if y == 1 {
+		return -math.Log(math.Max(p, 1e-12))
+	}
+	return -math.Log(math.Max(1-p, 1e-12))
+}
+
+const prodZeroEps = 1e-12
+
+// conjBackward adds the conjunction node's weight and input gradients.
+// out = prod_i F_i, F_i = 1 - w_i (1 - x_i);
+// d out/d w_i = -(1-x_i) * prod_{j≠i} F_j; d out/d x_i = w_i * prod_{j≠i} F_j.
+func conjBackward(x, w []float64, g float64, gw, gx []float64) {
+	prodNZ := 1.0
+	zeros := 0
+	zeroIdx := -1
+	for i := range x {
+		f := 1 - w[i]*(1-x[i])
+		if math.Abs(f) < prodZeroEps {
+			zeros++
+			zeroIdx = i
+			if zeros > 1 {
+				return // every partial product contains a zero factor
+			}
+			continue
+		}
+		prodNZ *= f
+	}
+	for i := range x {
+		var partial float64
+		switch {
+		case zeros == 0:
+			f := 1 - w[i]*(1-x[i])
+			partial = prodNZ / f
+		case zeros == 1 && i == zeroIdx:
+			partial = prodNZ
+		default:
+			continue // partial product is zero
+		}
+		gw[i] += g * -(1 - x[i]) * partial
+		gx[i] += g * w[i] * partial
+	}
+}
+
+// disjBackward adds the disjunction node's weight and input gradients.
+// out = 1 - prod_i G_i, G_i = 1 - x_i w_i;
+// d out/d w_i = x_i * prod_{j≠i} G_j; d out/d x_i = w_i * prod_{j≠i} G_j.
+func disjBackward(x, w []float64, g float64, gw, gx []float64) {
+	prodNZ := 1.0
+	zeros := 0
+	zeroIdx := -1
+	for i := range x {
+		f := 1 - x[i]*w[i]
+		if math.Abs(f) < prodZeroEps {
+			zeros++
+			zeroIdx = i
+			if zeros > 1 {
+				return
+			}
+			continue
+		}
+		prodNZ *= f
+	}
+	for i := range x {
+		var partial float64
+		switch {
+		case zeros == 0:
+			f := 1 - x[i]*w[i]
+			partial = prodNZ / f
+		case zeros == 1 && i == zeroIdx:
+			partial = prodNZ
+		default:
+			continue
+		}
+		gw[i] += g * x[i] * partial
+		gx[i] += g * w[i] * partial
+	}
+}
+
+// TrainEpochs runs mini-batch training for the given number of epochs and
+// returns the mean loss of the final epoch. It is the building block both
+// for standalone training (Train) and for FedAvg local updates.
+func (m *Model) TrainEpochs(xs [][]float64, ys []int, epochs int) float64 {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(ys)))
+	}
+	if len(xs) == 0 || epochs <= 0 {
+		return 0
+	}
+	r := rand.New(rand.NewSource(m.cfg.Seed + int64(m.opt.t) + 1))
+	params := m.Params()
+	grad := make([]float64, len(params))
+	workers := m.workerCount()
+	gbs := make([]*gradBuffers, workers)
+	for i := range gbs {
+		gbs[i] = m.newGradBuffers()
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	lastLoss := 0.0
+	bestAcc := -1.0
+	var bestParams []float64
+	for ep := 0; ep < epochs; ep++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		for start := 0; start < len(idx); start += m.cfg.BatchSize {
+			end := start + m.cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			loss := m.batchGrad(xs, ys, batch, gbs, grad)
+			epochLoss += loss * float64(len(batch))
+			m.regularize(params, grad)
+			m.opt.step(params, grad, m.cfg.LearningRate)
+			m.applyParams(params)
+		}
+		lastLoss = epochLoss / float64(len(idx))
+		if m.cfg.KeepBest {
+			if acc := m.Accuracy(xs, ys); acc > bestAcc {
+				bestAcc = acc
+				bestParams = m.Params()
+			}
+		}
+	}
+	if bestParams != nil {
+		m.applyParams(bestParams)
+	}
+	return lastLoss
+}
+
+// Train runs cfg.Epochs of training and returns the final epoch's mean loss.
+func (m *Model) Train(xs [][]float64, ys []int) float64 {
+	return m.TrainEpochs(xs, ys, m.cfg.Epochs)
+}
+
+// batchGrad computes the mean gradient over batch into grad (overwritten)
+// and returns the mean loss.
+func (m *Model) batchGrad(xs [][]float64, ys []int, batch []int, gbs []*gradBuffers, grad []float64) float64 {
+	workers := len(gbs)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	losses := make([]float64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(batch) + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			gb := gbs[wkr]
+			for i := range gb.grad {
+				gb.grad[i] = 0
+			}
+			sum := 0.0
+			for _, s := range batch[lo:hi] {
+				sum += m.backprop(xs[s], ys[s], m.cfg.Grafting, gb)
+			}
+			losses[wkr] = sum
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+
+	inv := 1 / float64(len(batch))
+	for i := range grad {
+		g := 0.0
+		for wkr := 0; wkr < workers; wkr++ {
+			g += gbs[wkr].grad[i]
+		}
+		grad[i] = g * inv
+	}
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total * inv
+}
+
+// regularize adds L1 decay on the logical weights (which live in [0,1], so
+// the subgradient is simply +L1Logic wherever the weight is positive) and L2
+// decay on the head weights.
+func (m *Model) regularize(params, grad []float64) {
+	if m.cfg.L1Logic == 0 && m.cfg.L2Head == 0 {
+		return
+	}
+	headOff := m.numParams() - m.ruleDim - 1
+	if m.cfg.L1Logic != 0 {
+		for i := 0; i < headOff; i++ {
+			if params[i] > 0 {
+				grad[i] += m.cfg.L1Logic
+			}
+		}
+	}
+	if m.cfg.L2Head != 0 {
+		for i := headOff; i < headOff+m.ruleDim; i++ {
+			grad[i] += m.cfg.L2Head * params[i]
+		}
+	}
+}
+
+// applyParams writes params back into the model, clamping logical weights to
+// their [0,1] domain (the head stays unconstrained).
+func (m *Model) applyParams(params []float64) {
+	i := 0
+	for _, l := range m.layers {
+		for _, w := range l.weights {
+			for j := range w {
+				v := params[i]
+				if v < 0 {
+					v = 0
+					params[i] = 0
+				} else if v > 1 {
+					v = 1
+					params[i] = 1
+				}
+				w[j] = v
+				i++
+			}
+		}
+	}
+	copy(m.headW, params[i:i+m.ruleDim])
+	i += m.ruleDim
+	m.headB = params[i]
+}
+
+func (m *Model) workerCount() int {
+	if m.cfg.Workers > 0 {
+		return m.cfg.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelOver splits n items across workers, giving each worker its own
+// forward buffers, and calls fn with the worker id and its index chunk.
+func (m *Model) parallelOver(n int, fn func(worker int, idx []int, buf *fwdBuffers)) {
+	workers := m.workerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		if n > 0 {
+			fn(0, idx, m.newBuffers())
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			idx := make([]int, hi-lo)
+			for i := range idx {
+				idx[i] = lo + i
+			}
+			fn(wkr, idx, m.newBuffers())
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+}

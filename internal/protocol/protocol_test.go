@@ -1,0 +1,217 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func sampleUpload() *Upload {
+	return &Upload{
+		Participant: 3,
+		RuleWidth:   70,
+		Records: []Record{
+			{Label: 1, Activations: bitset.FromIndices(70, 0, 5, 63, 64, 69)},
+			{Label: 0, Activations: bitset.New(70)},
+			{Label: 1, Activations: bitset.FromIndices(70, 7)},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	u := sampleUpload()
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadUpload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Participant != u.Participant || got.RuleWidth != u.RuleWidth || len(got.Records) != len(u.Records) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range u.Records {
+		if got.Records[i].Label != u.Records[i].Label {
+			t.Fatalf("record %d label mismatch", i)
+		}
+		if !got.Records[i].Activations.Equal(u.Records[i].Activations) {
+			t.Fatalf("record %d activations mismatch: %s vs %s",
+				i, got.Records[i].Activations, u.Records[i].Activations)
+		}
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	var buf bytes.Buffer
+	u1, u2 := sampleUpload(), sampleUpload()
+	u2.Participant = 5
+	if err := u1.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := u2.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ReadUpload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadUpload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Participant != 3 || b.Participant != 5 {
+		t.Fatalf("frames out of order: %d, %d", a.Participant, b.Participant)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	bad := sampleUpload()
+	bad.Records[0].Label = 2
+	if err := bad.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("invalid label should fail encode")
+	}
+	bad2 := sampleUpload()
+	bad2.Records[0].Activations = bitset.New(5) // width mismatch
+	if err := bad2.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("width mismatch should fail encode")
+	}
+	bad3 := sampleUpload()
+	bad3.Participant = -1
+	if err := bad3.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("negative participant should fail encode")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	u := sampleUpload()
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Flip one payload byte: checksum must catch it.
+	tampered := append([]byte(nil), raw...)
+	tampered[15] ^= 0xFF
+	if _, err := ReadUpload(bytes.NewReader(tampered)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampered frame err = %v, want checksum error", err)
+	}
+
+	// Bad magic.
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] = 'X'
+	if _, err := ReadUpload(bytes.NewReader(badMagic)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic err = %v", err)
+	}
+
+	// Bad version.
+	badVer := append([]byte(nil), raw...)
+	badVer[4] = 9
+	if _, err := ReadUpload(bytes.NewReader(badVer)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version err = %v", err)
+	}
+
+	// Truncated stream.
+	if _, err := ReadUpload(bytes.NewReader(raw[:8])); err == nil {
+		t.Fatal("truncated header should error")
+	}
+	if _, err := ReadUpload(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated checksum should error")
+	}
+}
+
+func TestToTrainingUploads(t *testing.T) {
+	u := sampleUpload()
+	out, err := ToTrainingUploads([]*Upload{u}, 70, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("records = %d", len(out))
+	}
+	if out[0].Owner != 3 || out[0].Label != 1 {
+		t.Fatalf("record 0 = %+v", out[0])
+	}
+	if _, err := ToTrainingUploads([]*Upload{u}, 71, 4); err == nil {
+		t.Fatal("width mismatch should error")
+	}
+	if _, err := ToTrainingUploads([]*Upload{u}, 70, 3); err == nil {
+		t.Fatal("participant out of range should error")
+	}
+}
+
+// TestEndToEndServerFromWire exercises the full privacy pipeline: clients
+// compute activation vectors locally, serialize them, the server decodes
+// the frames and builds a tracer — and the scores match the in-process path
+// bit for bit.
+func TestEndToEndServerFromWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(4)
+	train, test := tab.Split(r, 0.25)
+	parts := fl.PartitionSkewLabel(train, 3, 0.8, r)
+	enc, err := dataset.NewEncoder(tab.Schema, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 1, LocalEpochs: 6, Parallel: true,
+		Model: nn.Config{Hidden: []int{32}, Grafting: true, Seed: 2},
+	})
+	model, err := trainer.Train(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.Extract(model, enc)
+
+	// Client side: every participant serializes its activation vectors.
+	var wire bytes.Buffer
+	for pi, p := range parts {
+		acts, _ := rs.ActivationsTable(p.Data)
+		up := &Upload{Participant: pi, RuleWidth: rs.Width()}
+		for i, a := range acts {
+			up.Records = append(up.Records, Record{
+				Label:       p.Data.Instances[i].Label,
+				Activations: a,
+			})
+		}
+		if err := up.Write(&wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Server side: decode frames, build the tracer from uploads only.
+	var uploads []*Upload
+	for i := 0; i < len(parts); i++ {
+		u, err := ReadUpload(&wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uploads = append(uploads, u)
+	}
+	recs, err := ToTrainingUploads(uploads, rs.Width(), len(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{TauW: 0.9}
+	fromWire := core.NewTracerFromUploads(rs, len(parts), recs, cfg).Trace(test)
+	direct := core.NewTracer(rs, parts, cfg).Trace(test)
+
+	a, b := fromWire.MicroScores(), direct.MicroScores()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wire scores diverge: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package rules
+
+// Rule-set quality analysis: per-rule support and precision on labeled data,
+// plus structural redundancy detection (duplicate and subsumed rules). These
+// reports back the interpretability story — a federation publishing rules as
+// contribution evidence needs to know which ones are trustworthy — and guide
+// the L1 pruning strength (see nn.Config.L1Logic).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// RuleStat is one rule's empirical behaviour on a labeled table.
+type RuleStat struct {
+	Rule Rule
+	// Fired counts instances activating the rule; Support is Fired divided
+	// by the table size.
+	Fired   int
+	Support float64
+	// Precision is, among firing instances, the fraction whose label matches
+	// the rule's class side. 0 when the rule never fires.
+	Precision float64
+}
+
+// Stats evaluates every live rule against a labeled table, sorted by
+// descending support.
+func (s *Set) Stats(t *dataset.Table) []RuleStat {
+	acts, _ := s.ActivationsTable(t)
+	out := make([]RuleStat, 0, len(s.Rules))
+	for _, r := range s.Rules {
+		st := RuleStat{Rule: r}
+		match := 0
+		wantLabel := 0
+		if r.Positive {
+			wantLabel = 1
+		}
+		for i, a := range acts {
+			if !a.Test(r.Index) {
+				continue
+			}
+			st.Fired++
+			if t.Instances[i].Label == wantLabel {
+				match++
+			}
+		}
+		if t.Len() > 0 {
+			st.Support = float64(st.Fired) / float64(t.Len())
+		}
+		if st.Fired > 0 {
+			st.Precision = float64(match) / float64(st.Fired)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Support != out[b].Support {
+			return out[a].Support > out[b].Support
+		}
+		return out[a].Rule.Index < out[b].Rule.Index
+	})
+	return out
+}
+
+// Redundancy describes a structural relation between two live rules.
+type Redundancy struct {
+	// Kind is "duplicate" (identical structure) or "subsumes" (every
+	// activation of B is an activation of A).
+	Kind string
+	// A and B are rule-vector indices; for "subsumes", A is the more general
+	// rule (A fires whenever B fires).
+	A, B int
+}
+
+// FindRedundancy reports duplicate and subsumption relations among live
+// rules of the same layer and kind. For conjunctions, a rule with operand
+// set S_A fires whenever a rule with S_A ⊆ S_B fires (fewer conditions is
+// more general); for disjunctions the containment direction flips.
+func (s *Set) FindRedundancy() []Redundancy {
+	var out []Redundancy
+	for i := 0; i < len(s.Rules); i++ {
+		for j := i + 1; j < len(s.Rules); j++ {
+			a, b := s.Rules[i], s.Rules[j]
+			if a.Layer != b.Layer || a.Conj != b.Conj {
+				continue
+			}
+			subAB := isSubset(a.Selected, b.Selected)
+			subBA := isSubset(b.Selected, a.Selected)
+			switch {
+			case subAB && subBA:
+				out = append(out, Redundancy{Kind: "duplicate", A: a.Index, B: b.Index})
+			case subAB: // a's operands ⊆ b's operands
+				if a.Conj {
+					// fewer conjuncts = more general
+					out = append(out, Redundancy{Kind: "subsumes", A: a.Index, B: b.Index})
+				} else {
+					// fewer disjuncts = more specific
+					out = append(out, Redundancy{Kind: "subsumes", A: b.Index, B: a.Index})
+				}
+			case subBA:
+				if a.Conj {
+					out = append(out, Redundancy{Kind: "subsumes", A: b.Index, B: a.Index})
+				} else {
+					out = append(out, Redundancy{Kind: "subsumes", A: a.Index, B: b.Index})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isSubset reports whether every element of a (sorted ascending) appears in
+// b (sorted ascending). RuleSpecs emit Selected sorted, so this holds.
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, want := range a {
+		for i < len(b) && b[i] < want {
+			i++
+		}
+		if i >= len(b) || b[i] != want {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// FormatStats renders the top-k rule statistics as a report block.
+func FormatStats(stats []RuleStat, k int) string {
+	if k > 0 && len(stats) > k {
+		stats = stats[:k]
+	}
+	var b strings.Builder
+	b.WriteString("rule statistics (support / precision):\n")
+	for _, st := range stats {
+		side := "+"
+		if !st.Rule.Positive {
+			side = "-"
+		}
+		fmt.Fprintf(&b, "  [%s w=%.3f sup=%.3f prec=%.3f] %s\n",
+			side, st.Rule.Weight, st.Support, st.Precision, st.Rule.Expr)
+	}
+	return b.String()
+}

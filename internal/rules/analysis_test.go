@@ -1,0 +1,176 @@
+package rules
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// analysisFixture wires four layer-0 rules with controlled structure:
+//
+//	node0 conj {p0}        (positive, w 1.0)  — general
+//	node1 conj {p0, p3}    (positive, w 0.8)  — subsumed by node0
+//	node2 disj {p0}        (negative, w 0.5)  — more specific than node3
+//	node3 disj {p0, p3}    (negative, w 0.5)  — general disjunction
+func analysisFixture(t *testing.T) (*dataset.Encoder, *Set) {
+	t.Helper()
+	s := &dataset.Schema{
+		Name: "an",
+		Features: []dataset.Feature{
+			{Name: "a", Kind: dataset.Discrete, Categories: []string{"t", "f"}},
+			{Name: "b", Kind: dataset.Discrete, Categories: []string{"t", "f"}},
+		},
+	}
+	enc, err := dataset.NewEncoder(s, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// predicates: a=t(0), a=f(1), a=?(2), b=t(3), b=f(4), b=?(5)
+	m, err := nn.New(enc.Width(), nn.Config{Hidden: []int{4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	for i := range p {
+		p[i] = 0
+	}
+	in := enc.Width()
+	p[0*in+0] = 1
+	p[1*in+0] = 1
+	p[1*in+3] = 1
+	p[2*in+0] = 1
+	p[3*in+0] = 1
+	p[3*in+3] = 1
+	head := 4 * in
+	p[head+0] = 1
+	p[head+1] = 0.8
+	p[head+2] = -0.5
+	p[head+3] = -0.5
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	return enc, Extract(m, enc)
+}
+
+func TestRuleSelectedExposed(t *testing.T) {
+	_, rs := analysisFixture(t)
+	r1, ok := rs.RuleByIndex(1)
+	if !ok || len(r1.Selected) != 2 || r1.Selected[0] != 0 || r1.Selected[1] != 3 {
+		t.Fatalf("rule 1 selected = %+v", r1)
+	}
+	if r1.Layer != 0 {
+		t.Fatalf("layer = %d", r1.Layer)
+	}
+}
+
+func TestStats(t *testing.T) {
+	enc, rs := analysisFixture(t)
+	_ = enc
+	tab := &dataset.Table{Schema: rs.enc.Schema(), Instances: []dataset.Instance{
+		{Values: []float64{0, 0}, Label: 1}, // a=t, b=t: all rules fire
+		{Values: []float64{0, 1}, Label: 1}, // a=t, b=f: node0, node2, node3 fire
+		{Values: []float64{1, 0}, Label: 0}, // a=f, b=t: node3 fires (disj via p3)
+		{Values: []float64{1, 1}, Label: 0}, // nothing fires
+	}}
+	sts := rs.Stats(tab)
+	if len(sts) != 4 {
+		t.Fatalf("stats count = %d", len(sts))
+	}
+	byIdx := map[int]RuleStat{}
+	for _, st := range sts {
+		byIdx[st.Rule.Index] = st
+	}
+	// node0 (conj a=t): fires on rows 0,1; both positive → precision 1.
+	if st := byIdx[0]; st.Fired != 2 || math.Abs(st.Precision-1) > 1e-12 {
+		t.Fatalf("node0 stat = %+v", st)
+	}
+	// node3 (disj a=t ∨ b=t, negative side): fires rows 0,1,2; labels 1,1,0
+	// → precision 1/3.
+	if st := byIdx[3]; st.Fired != 3 || math.Abs(st.Precision-1.0/3) > 1e-9 {
+		t.Fatalf("node3 stat = %+v", st)
+	}
+	// Sorted by support descending: node3 first.
+	if sts[0].Rule.Index != 3 {
+		t.Fatalf("sort order wrong: first = %d", sts[0].Rule.Index)
+	}
+	out := FormatStats(sts, 2)
+	if !strings.Contains(out, "sup=") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("FormatStats output:\n%s", out)
+	}
+}
+
+func TestFindRedundancy(t *testing.T) {
+	_, rs := analysisFixture(t)
+	reds := rs.FindRedundancy()
+	// Expect: conj node0 subsumes node1; disj node3 subsumes node2.
+	var conjOK, disjOK bool
+	for _, r := range reds {
+		if r.Kind == "subsumes" && r.A == 0 && r.B == 1 {
+			conjOK = true
+		}
+		if r.Kind == "subsumes" && r.A == 3 && r.B == 2 {
+			disjOK = true
+		}
+		if r.Kind == "duplicate" {
+			t.Fatalf("unexpected duplicate: %+v", r)
+		}
+	}
+	if !conjOK || !disjOK {
+		t.Fatalf("redundancy relations missing: %+v", reds)
+	}
+}
+
+func TestFindRedundancyDuplicates(t *testing.T) {
+	enc, _ := analysisFixture(t)
+	m, err := nn.New(enc.Width(), nn.Config{Hidden: []int{4}, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	for i := range p {
+		p[i] = 0
+	}
+	in := enc.Width()
+	p[0*in+0] = 1 // node0 conj {p0}
+	p[1*in+0] = 1 // node1 conj {p0} — duplicate
+	head := 4 * in
+	p[head+0] = 1
+	p[head+1] = 1
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	rs := Extract(m, enc)
+	reds := rs.FindRedundancy()
+	found := false
+	for _, r := range reds {
+		if r.Kind == "duplicate" && r.A == 0 && r.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate not detected: %+v", reds)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{}, []int{1, 2}, true},
+		{[]int{1}, []int{1, 2}, true},
+		{[]int{2}, []int{1, 2}, true},
+		{[]int{3}, []int{1, 2}, false},
+		{[]int{1, 2}, []int{1}, false},
+		{[]int{1, 2}, []int{1, 2}, true},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.a, c.b); got != c.want {
+			t.Fatalf("isSubset(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}

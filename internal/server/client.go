@@ -1,0 +1,116 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/protocol"
+)
+
+// Client is a typed wrapper over the service's HTTP API, for participants
+// and federation tooling.
+type Client struct {
+	// BaseURL of the service, e.g. "http://localhost:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// PublishEncoder posts the federation's predicate encoding.
+func (c *Client) PublishEncoder(enc *dataset.Encoder) error {
+	data, err := json.Marshal(enc)
+	if err != nil {
+		return err
+	}
+	return c.do(http.MethodPost, "/v1/encoder", "application/json", bytes.NewReader(data), nil)
+}
+
+// PublishModel posts the trained global model.
+func (c *Client) PublishModel(m *nn.Model) error {
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		return err
+	}
+	return c.do(http.MethodPost, "/v1/model", "application/octet-stream", &buf, nil)
+}
+
+// UploadActivations sends one participant's activation frames.
+func (c *Client) UploadActivations(up *protocol.Upload) error {
+	var buf bytes.Buffer
+	if err := up.Write(&buf); err != nil {
+		return err
+	}
+	return c.do(http.MethodPost, "/v1/uploads", "application/octet-stream", &buf, nil)
+}
+
+// Trace scores a reserved test table at the given tracing parameters.
+func (c *Client) Trace(test *dataset.Table, tau float64, delta int) (*TraceResponse, error) {
+	var csv bytes.Buffer
+	if err := dataset.WriteCSV(&csv, test); err != nil {
+		return nil, err
+	}
+	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d", tau, delta)
+	var out TraceResponse
+	if err := c.do(http.MethodPost, path, "text/csv", &csv, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Rules fetches the extracted rule set.
+func (c *Client) Rules() ([]RuleJSON, error) {
+	var out []RuleJSON
+	if err := c.do(http.MethodGet, "/v1/rules", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Health fetches the liveness/state summary.
+func (c *Client) Health() (map[string]any, error) {
+	var out map[string]any
+	if err := c.do(http.MethodGet, "/healthz", "", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

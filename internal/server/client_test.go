@@ -1,0 +1,150 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/protocol"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+func TestClientLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(9)
+	train, test := tab.Split(r, 0.25)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := fl.PartitionSkewLabel(train, 3, 0.8, r)
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 1, LocalEpochs: 6, Parallel: true,
+		Model: nn.Config{Hidden: []int{32}, Grafting: true, Seed: 4},
+	})
+	model, err := trainer.Train(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.Extract(model, enc)
+
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL}
+
+	// Errors surface as typed messages before setup.
+	if _, err := cl.Rules(); err == nil {
+		t.Fatal("rules before setup should error")
+	}
+
+	if err := cl.PublishEncoder(enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PublishModel(model); err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range parts {
+		acts, _ := rs.ActivationsTable(p.Data)
+		up := &protocol.Upload{Participant: pi, RuleWidth: rs.Width()}
+		for i, a := range acts {
+			up.Records = append(up.Records, protocol.Record{
+				Label: p.Data.Instances[i].Label, Activations: a,
+			})
+		}
+		if err := cl.UploadActivations(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["participants"].(float64) != 3 {
+		t.Fatalf("health = %v", h)
+	}
+
+	tr, err := cl.Trace(test, 0.9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Micro) != 3 || tr.Accuracy <= 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	// HTTP scores must match an equivalent in-process trace exactly.
+	local := core2Scores(t, rs, parts, test)
+	for i := range local {
+		if diff := tr.Micro[i] - local[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("HTTP micro %v vs local %v", tr.Micro, local)
+		}
+	}
+
+	rls, err := cl.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rls) == 0 {
+		t.Fatal("no rules returned")
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	// Unreachable server: transport errors surface.
+	dead := &Client{BaseURL: "http://127.0.0.1:1"}
+	if err := dead.PublishEncoder(&dataset.Encoder{}); err == nil {
+		t.Fatal("unreachable PublishEncoder should error")
+	}
+	if _, err := dead.Health(); err == nil {
+		t.Fatal("unreachable Health should error")
+	}
+	if _, err := dead.Rules(); err == nil {
+		t.Fatal("unreachable Rules should error")
+	}
+	if _, err := dead.Trace(&dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
+		t.Fatal("unreachable Trace should error")
+	}
+	m, err := nn.New(3, nn.Config{Hidden: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dead.PublishModel(m); err == nil {
+		t.Fatal("unreachable PublishModel should error")
+	}
+	if err := dead.UploadActivations(&protocol.Upload{RuleWidth: 4}); err == nil {
+		t.Fatal("unreachable UploadActivations should error")
+	}
+
+	// HTTP error statuses become typed errors (conflict before setup).
+	ts := httptest.NewServer(New())
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
+	if err := cl.UploadActivations(&protocol.Upload{RuleWidth: 4}); err == nil {
+		t.Fatal("uploads before setup should error through client")
+	}
+	if _, err := cl.Trace(&dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
+		t.Fatal("trace before setup should error through client")
+	}
+}
+
+func tinySchema() *dataset.Schema {
+	return &dataset.Schema{
+		Name:   "tiny",
+		Labels: [2]string{"n", "y"},
+		Features: []dataset.Feature{
+			{Name: "f", Kind: dataset.Discrete, Categories: []string{"a", "b"}},
+		},
+	}
+}
+
+func core2Scores(t *testing.T, rs *rules.Set, parts []*fl.Participant, test *dataset.Table) []float64 {
+	t.Helper()
+	tr := core.NewTracer(rs, parts, core.Config{TauW: 0.9, Delta: 2})
+	return tr.Trace(test).MicroScores()
+}

@@ -1,0 +1,305 @@
+// Package server exposes the federation's contribution-estimation pipeline
+// as an HTTP service — the deployment shape a real data federation would
+// run. The lifecycle mirrors the paper's protocol:
+//
+//	POST /v1/encoder   the federation publishes the predicate encoding
+//	POST /v1/model     the trained global rule-based model (binary form)
+//	POST /v1/uploads   participants submit activation-vector frames
+//	POST /v1/trace     the reserved test set (CSV) → scores + audit JSON
+//	GET  /v1/rules     the extracted rule set (interpretability)
+//	GET  /healthz      liveness
+//
+// Raw training features never cross this API: participants send only
+// protocol frames of (label, activation bitset) records.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/protocol"
+	"repro/internal/rules"
+)
+
+// Server is the federation scoring service. The zero value is not usable;
+// call New.
+type Server struct {
+	mu      sync.Mutex
+	enc     *dataset.Encoder
+	model   *nn.Model
+	rs      *rules.Set
+	uploads []core.TrainingUpload
+	// parts tracks the highest participant id seen + 1.
+	parts int
+
+	mux *http.ServeMux
+}
+
+// New constructs the service with its routes registered.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/encoder", s.handleEncoder)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/uploads", s.handleUploads)
+	s.mux.HandleFunc("/v1/trace", s.handleTrace)
+	s.mux.HandleFunc("/v1/rules", s.handleRules)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.mu.Lock()
+	state := map[string]any{
+		"ok":           true,
+		"encoder":      s.enc != nil,
+		"model":        s.model != nil,
+		"uploads":      len(s.uploads),
+		"participants": s.parts,
+	}
+	s.mu.Unlock()
+	_ = json.NewEncoder(w).Encode(state)
+}
+
+func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var enc dataset.Encoder
+	if err := json.NewDecoder(r.Body).Decode(&enc); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enc = &enc
+	// A new encoding invalidates any model and uploads tied to the old one.
+	s.model, s.rs = nil, nil
+	s.uploads, s.parts = nil, 0
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	m, err := nn.ReadModel(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.enc == nil {
+		httpError(w, http.StatusConflict, errors.New("publish the encoder first"))
+		return
+	}
+	if m.InDim() != s.enc.Width() {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("model input width %d, encoder produces %d", m.InDim(), s.enc.Width()))
+		return
+	}
+	s.model = m
+	s.rs = rules.Extract(m, s.enc)
+	// Uploads reference the previous model's rule space.
+	s.uploads, s.parts = nil, 0
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rs == nil {
+		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
+		return
+	}
+	accepted := 0
+	for {
+		up, err := protocol.ReadUpload(r.Body)
+		if err != nil {
+			// A clean EOF at a frame boundary ends the batch; anything else
+			// (including a truncated frame) is a client error.
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if up.RuleWidth != s.rs.Width() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("upload rule width %d, model has %d", up.RuleWidth, s.rs.Width()))
+			return
+		}
+		for _, rec := range up.Records {
+			s.uploads = append(s.uploads, core.TrainingUpload{
+				Owner:       up.Participant,
+				Label:       rec.Label,
+				Activations: rec.Activations,
+			})
+		}
+		if up.Participant+1 > s.parts {
+			s.parts = up.Participant + 1
+		}
+		accepted++
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int{"frames": accepted, "records": len(s.uploads)})
+}
+
+// TraceResponse is the JSON result of POST /v1/trace.
+type TraceResponse struct {
+	Accuracy     float64   `json:"accuracy"`
+	CoverageGap  float64   `json:"coverage_gap"`
+	Micro        []float64 `json:"micro"`
+	Macro        []float64 `json:"macro"`
+	LossRatio    []float64 `json:"loss_ratio"`
+	UselessRatio []float64 `json:"useless_ratio"`
+	Suspects     []int     `json:"suspects"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	tau, err := queryFloat(r, "tau", 0.9)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	delta, err := queryInt(r, "delta", 2)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if tau <= 0 || tau > 1 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("tau %v outside (0,1]", tau))
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rs == nil {
+		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
+		return
+	}
+	if len(s.uploads) == 0 {
+		httpError(w, http.StatusConflict, errors.New("no participant uploads registered"))
+		return
+	}
+	test, err := dataset.ReadCSV(r.Body, s.enc.Schema(), dataset.CSVOptions{
+		HasHeader:       true,
+		PositiveLabel:   s.enc.Schema().Labels[1],
+		TrimSpace:       true,
+		ClampContinuous: true,
+	})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if test.Len() == 0 {
+		httpError(w, http.StatusBadRequest, errors.New("empty test set"))
+		return
+	}
+
+	tracer := core.NewTracerFromUploads(s.rs, s.parts, cloneUploads(s.uploads), core.Config{TauW: tau, Delta: delta})
+	res := tracer.Trace(test)
+	sus := res.Suspicion(0.5)
+	resp := TraceResponse{
+		Accuracy:     res.Accuracy(),
+		CoverageGap:  res.CoverageGap(),
+		Micro:        res.MicroScores(),
+		Macro:        res.MacroScores(),
+		LossRatio:    sus.Ratio,
+		UselessRatio: res.UselessRatio(),
+		Suspects:     sus.Suspects,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// cloneUploads protects the registered uploads from the tracer's in-place
+// class-side masking, so /v1/trace stays repeatable.
+func cloneUploads(ups []core.TrainingUpload) []core.TrainingUpload {
+	out := make([]core.TrainingUpload, len(ups))
+	for i, u := range ups {
+		out[i] = core.TrainingUpload{Owner: u.Owner, Label: u.Label, Activations: u.Activations.Clone()}
+	}
+	return out
+}
+
+// RuleJSON is one rule in GET /v1/rules responses.
+type RuleJSON struct {
+	Index    int     `json:"index"`
+	Positive bool    `json:"positive"`
+	Weight   float64 `json:"weight"`
+	Expr     string  `json:"expr"`
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rs == nil {
+		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
+		return
+	}
+	out := make([]RuleJSON, 0, len(s.rs.Rules))
+	for _, ru := range s.rs.Rules {
+		out = append(out, RuleJSON{Index: ru.Index, Positive: ru.Positive, Weight: ru.Weight, Expr: ru.Expr})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %w", key, err)
+	}
+	return f, nil
+}
+
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query %s: %w", key, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,253 @@
+// Package valuation implements the four baseline contribution-estimation
+// schemes the paper compares CTFL against (Section II-B / VI-A): Individual,
+// LeaveOneOut, ShapleyValue (truncated Monte-Carlo permutation sampling with
+// Θ(n² log n) marginal evaluations, per Liu et al.'s GTG-Shapley), and
+// LeastCore (sampled coalition constraints solved with the repo's simplex
+// LP). The game-theoretic cores are expressed over an abstract coalition
+// utility so they can be tested against hand-built games; the FL bindings in
+// schemes.go connect them to FedAvg retraining through a memoizing Oracle.
+package valuation
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/lp"
+)
+
+// Utility maps a coalition (bitmask over participant indices; bit i set
+// means participant i joins) to its data utility v(D_S).
+type Utility func(mask uint64) (float64, error)
+
+// fullMask returns the grand-coalition mask for n participants.
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		panic("valuation: more than 63 participants unsupported")
+	}
+	return (1 << uint(n)) - 1
+}
+
+// IndividualValues implements the Individual scheme: phi(i) = v({i}).
+func IndividualValues(n int, v Utility) ([]float64, error) {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u, err := v(1 << uint(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// LeaveOneOutValues implements phi(i) = v(D_N) - v(D_{N\i}).
+func LeaveOneOutValues(n int, v Utility) ([]float64, error) {
+	full := fullMask(n)
+	vn, err := v(full)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u, err := v(full &^ (1 << uint(i)))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = vn - u
+	}
+	return out, nil
+}
+
+// ExactShapley computes the Shapley value by full subset enumeration:
+// phi(i) = sum over S ⊆ N\{i} of |S|!(n-|S|-1)!/n! · (v(S∪{i}) − v(S)).
+// Exponential in n; intended for small games and as ground truth in tests.
+func ExactShapley(n int, v Utility) ([]float64, error) {
+	if n > 20 {
+		return nil, fmt.Errorf("valuation: ExactShapley limited to n <= 20, got %d", n)
+	}
+	// Precompute the coefficient for each coalition size.
+	fact := make([]float64, n+1)
+	fact[0] = 1
+	for i := 1; i <= n; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	coef := make([]float64, n) // coef[s] for |S| = s
+	for s := 0; s < n; s++ {
+		coef[s] = fact[s] * fact[n-s-1] / fact[n]
+	}
+	out := make([]float64, n)
+	full := fullMask(n)
+	// Cache utilities of every subset once.
+	util := make([]float64, full+1)
+	for mask := uint64(0); mask <= full; mask++ {
+		u, err := v(mask)
+		if err != nil {
+			return nil, err
+		}
+		util[mask] = u
+	}
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		for mask := uint64(0); mask <= full; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			s := bits.OnesCount64(mask)
+			out[i] += coef[s] * (util[mask|bit] - util[mask])
+		}
+	}
+	return out, nil
+}
+
+// ShapleyConfig tunes SampledShapley.
+type ShapleyConfig struct {
+	// Permutations sampled; 0 means ceil(n · log2(n)) so the total marginal
+	// evaluations are Θ(n² log n), the budget the paper grants the
+	// accelerated baseline.
+	Permutations int
+	// TruncationEps enables GTG-Shapley-style early stopping within a
+	// permutation: once the running coalition's utility is within this
+	// distance of v(D_N), the remaining marginals are taken as zero.
+	TruncationEps float64
+	// Rand drives permutation sampling; required.
+	Rand *rand.Rand
+}
+
+// SampledShapley estimates the Shapley value by Monte-Carlo permutation
+// sampling with truncation.
+func SampledShapley(n int, v Utility, cfg ShapleyConfig) ([]float64, error) {
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("valuation: SampledShapley needs a Rand")
+	}
+	perms := cfg.Permutations
+	if perms <= 0 {
+		perms = int(math.Ceil(float64(n) * math.Log2(float64(n)+1)))
+		if perms < 2 {
+			perms = 2
+		}
+	}
+	full := fullMask(n)
+	vFull, err := v(full)
+	if err != nil {
+		return nil, err
+	}
+	vEmpty, err := v(0)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for p := 0; p < perms; p++ {
+		order := cfg.Rand.Perm(n)
+		mask := uint64(0)
+		prev := vEmpty
+		truncated := false
+		for _, i := range order {
+			if truncated {
+				// Remaining marginals are treated as zero.
+				continue
+			}
+			mask |= 1 << uint(i)
+			cur, err := v(mask)
+			if err != nil {
+				return nil, err
+			}
+			out[i] += cur - prev
+			prev = cur
+			if cfg.TruncationEps > 0 && math.Abs(vFull-cur) < cfg.TruncationEps {
+				truncated = true
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(perms)
+	}
+	return out, nil
+}
+
+// LeastCoreConfig tunes SampledLeastCore.
+type LeastCoreConfig struct {
+	// Samples is the number of random coalition constraints; 0 means
+	// ceil(n² log2 n), matching the paper's accelerated baseline budget.
+	Samples int
+	// Rand drives coalition sampling; required.
+	Rand *rand.Rand
+}
+
+// SampledLeastCore solves the least-core LP of Eq. 2 over sampled coalition
+// constraints: minimize e subject to sum_{i in S} phi(i) + e >= v(D_S) for
+// each sampled S, and sum_i phi(i) = v(D_N).
+func SampledLeastCore(n int, v Utility, cfg LeastCoreConfig) ([]float64, error) {
+	if cfg.Rand == nil {
+		return nil, fmt.Errorf("valuation: SampledLeastCore needs a Rand")
+	}
+	samples := cfg.Samples
+	if samples <= 0 {
+		samples = int(math.Ceil(float64(n) * float64(n) * math.Log2(float64(n)+1)))
+	}
+	full := fullMask(n)
+	vFull, err := v(full)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := map[uint64]bool{}
+	var masks []uint64
+	// Always include the singleton coalitions: they anchor individual
+	// rationality and keep the sampled LP from degenerate solutions.
+	for i := 0; i < n; i++ {
+		m := uint64(1) << uint(i)
+		seen[m] = true
+		masks = append(masks, m)
+	}
+	for len(masks) < samples {
+		m := cfg.Rand.Uint64() & full
+		if m == 0 || m == full || seen[m] {
+			// Skip trivial or duplicate coalitions, but avoid an infinite
+			// loop when few coalitions exist.
+			if len(seen) >= int(full)-1 {
+				break
+			}
+			continue
+		}
+		seen[m] = true
+		masks = append(masks, m)
+	}
+
+	// Variables: phi_0..phi_{n-1}, e. All free.
+	nv := n + 1
+	prob := &lp.Problem{
+		Objective: make([]float64, nv),
+		FreeVars:  make([]bool, nv),
+	}
+	prob.Objective[n] = 1
+	for i := range prob.FreeVars {
+		prob.FreeVars[i] = true
+	}
+	for _, m := range masks {
+		u, err := v(m)
+		if err != nil {
+			return nil, err
+		}
+		row := lp.Constraint{Coeffs: make([]float64, nv), Op: lp.GE, RHS: u}
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				row.Coeffs[i] = 1
+			}
+		}
+		row.Coeffs[n] = 1
+		prob.Constraints = append(prob.Constraints, row)
+	}
+	eq := lp.Constraint{Coeffs: make([]float64, nv), Op: lp.EQ, RHS: vFull}
+	for i := 0; i < n; i++ {
+		eq.Coeffs[i] = 1
+	}
+	prob.Constraints = append(prob.Constraints, eq)
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("valuation: least-core LP: %w", err)
+	}
+	return sol.X[:n], nil
+}

@@ -1,0 +1,246 @@
+package valuation
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// tableII is the utility function of the paper's Table II motivating example:
+// A and B hold similar sufficient data, C holds complementary critical data.
+// Masks: bit0 = A, bit1 = B, bit2 = C.
+func tableII(mask uint64) (float64, error) {
+	switch mask {
+	case 0b000:
+		return 0.50, nil
+	case 0b001, 0b010, 0b011: // A, B, AB
+		return 0.80, nil
+	case 0b100: // C
+		return 0.65, nil
+	case 0b101, 0b110, 0b111: // AC, BC, ABC
+		return 0.90, nil
+	}
+	return 0, errors.New("bad mask")
+}
+
+func TestIndividualValues(t *testing.T) {
+	got, err := IndividualValues(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.80, 0.80, 0.65}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Individual = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLeaveOneOutValues(t *testing.T) {
+	got, err := LeaveOneOutValues(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v(N)=0.9; removing A → BC = 0.9 (loss 0), removing B likewise,
+	// removing C → AB = 0.8 (loss 0.1). The substitutability blindness the
+	// paper criticizes: A and B look worthless.
+	want := []float64{0, 0, 0.1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("LOO = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExactShapleyTableII(t *testing.T) {
+	got, err := ExactShapley(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand computation over all 6 orderings (see EXPERIMENTS.md):
+	// phi(A) = phi(B) = 0.85/6, phi(C) = 0.70/6.
+	want := []float64{0.85 / 6, 0.85 / 6, 0.70 / 6}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("Shapley = %v, want %v", got, want)
+		}
+	}
+	// Efficiency: sums to v(N) − v(∅).
+	if math.Abs(stats.Sum(got)-0.4) > 1e-9 {
+		t.Fatalf("efficiency violated: sum = %v", stats.Sum(got))
+	}
+}
+
+func TestExactShapleyDummyAndSymmetry(t *testing.T) {
+	// Additive game: v(S) = sum of member worths; Shapley must return the
+	// worths exactly (dummy + additivity axioms).
+	worth := []float64{0.1, 0.25, 0, 0.4}
+	v := func(mask uint64) (float64, error) {
+		s := 0.0
+		for i, w := range worth {
+			if mask&(1<<uint(i)) != 0 {
+				s += w
+			}
+		}
+		return s, nil
+	}
+	got, err := ExactShapley(4, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range worth {
+		if math.Abs(got[i]-worth[i]) > 1e-9 {
+			t.Fatalf("additive game Shapley = %v, want %v", got, worth)
+		}
+	}
+}
+
+func TestExactShapleyRejectsLargeN(t *testing.T) {
+	if _, err := ExactShapley(21, tableII); err == nil {
+		t.Fatal("n=21 should be rejected")
+	}
+}
+
+func TestSampledShapleyConvergesToExact(t *testing.T) {
+	exact, err := ExactShapley(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SampledShapley(3, tableII, ShapleyConfig{
+		Permutations: 3000,
+		Rand:         stats.NewRNG(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(got[i]-exact[i]) > 0.01 {
+			t.Fatalf("sampled %v vs exact %v", got, exact)
+		}
+	}
+}
+
+func TestSampledShapleyTruncationPreservesRanking(t *testing.T) {
+	exact, _ := ExactShapley(3, tableII)
+	got, err := SampledShapley(3, tableII, ShapleyConfig{
+		Permutations:  2000,
+		TruncationEps: 0.005,
+		Rand:          stats.NewRNG(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact scores tie A and B, so rank correlation is ill-conditioned;
+	// check absolute error and that C stays ranked last instead.
+	for i := range exact {
+		if math.Abs(got[i]-exact[i]) > 0.02 {
+			t.Fatalf("truncated sampling drifted: exact %v got %v", exact, got)
+		}
+	}
+	if got[2] >= got[0] || got[2] >= got[1] {
+		t.Fatalf("C should rank last: %v", got)
+	}
+}
+
+func TestSampledShapleyNeedsRand(t *testing.T) {
+	if _, err := SampledShapley(3, tableII, ShapleyConfig{}); err == nil {
+		t.Fatal("missing Rand should error")
+	}
+}
+
+func TestSampledShapleyDefaultBudget(t *testing.T) {
+	evals := 0
+	v := func(mask uint64) (float64, error) {
+		evals++
+		return float64(bits.OnesCount64(mask)), nil
+	}
+	n := 8
+	if _, err := SampledShapley(n, v, ShapleyConfig{Rand: stats.NewRNG(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Default permutations = ceil(n log2(n+1)) → marginal evaluations
+	// Θ(n² log n). With memoization disabled here, evals ≈ perms·n + 2.
+	perms := int(math.Ceil(float64(n) * math.Log2(float64(n)+1)))
+	want := perms*n + 2
+	if evals != want {
+		t.Fatalf("evals = %d, want %d", evals, want)
+	}
+}
+
+func TestSampledLeastCoreTableII(t *testing.T) {
+	got, err := SampledLeastCore(3, tableII, LeastCoreConfig{
+		Samples: 6, // covers all non-trivial coalitions of n=3
+		Rand:    stats.NewRNG(3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group rationality is a hard constraint.
+	if math.Abs(stats.Sum(got)-0.9) > 1e-6 {
+		t.Fatalf("least core sum = %v, want 0.9", stats.Sum(got))
+	}
+	// Core constraints with minimal deficit: every sampled singleton must be
+	// within e* of its standalone value. Verify feasibility of returned phi
+	// with the optimal deficit recovered from the binding constraint.
+	var eStar float64
+	for _, m := range []uint64{0b001, 0b010, 0b100, 0b011, 0b101, 0b110} {
+		u, _ := tableII(m)
+		sum := 0.0
+		for i := 0; i < 3; i++ {
+			if m&(1<<uint(i)) != 0 {
+				sum += got[i]
+			}
+		}
+		if d := u - sum; d > eStar {
+			eStar = d
+		}
+	}
+	// For this game the optimal least-core deficit is 0.35:
+	// the constraints phi_A >= 0.8 - e, phi_B >= 0.8 - e, phi_C >= 0.65 - e
+	// and sum = 0.9 force e >= (0.8+0.8+0.65-0.9)/3 = 0.45; pairwise
+	// constraints are weaker. Recheck: AB: phi_A+phi_B >= 0.8 - e;
+	// AC,BC >= 0.9 - e. LP optimum e* = 0.45.
+	if eStar > 0.451 {
+		t.Fatalf("least-core deficit %v exceeds optimum 0.45", eStar)
+	}
+}
+
+func TestSampledLeastCoreNeedsRand(t *testing.T) {
+	if _, err := SampledLeastCore(3, tableII, LeastCoreConfig{}); err == nil {
+		t.Fatal("missing Rand should error")
+	}
+}
+
+func TestUtilityErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func(mask uint64) (float64, error) {
+		if bits.OnesCount64(mask) >= 2 {
+			return 0, boom
+		}
+		return 0.5, nil
+	}
+	if _, err := LeaveOneOutValues(3, bad); !errors.Is(err, boom) {
+		t.Fatalf("LOO error = %v", err)
+	}
+	if _, err := ExactShapley(3, bad); !errors.Is(err, boom) {
+		t.Fatalf("Shapley error = %v", err)
+	}
+	if _, err := SampledShapley(3, bad, ShapleyConfig{Rand: stats.NewRNG(1)}); !errors.Is(err, boom) {
+		t.Fatalf("sampled Shapley error = %v", err)
+	}
+	if _, err := SampledLeastCore(3, bad, LeastCoreConfig{Rand: stats.NewRNG(1)}); !errors.Is(err, boom) {
+		t.Fatalf("least core error = %v", err)
+	}
+}
+
+func TestFullMaskPanicsAt64(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic at n=64")
+		}
+	}()
+	fullMask(64)
+}

@@ -1,0 +1,131 @@
+package valuation
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+var errBoom = errors.New("boom")
+
+func TestAntitheticShapleyConverges(t *testing.T) {
+	exact, err := ExactShapley(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AntitheticShapley(3, tableII, 1500, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(got[i]-exact[i]) > 0.01 {
+			t.Fatalf("antithetic %v vs exact %v", got, exact)
+		}
+	}
+}
+
+func TestStratifiedShapleyConverges(t *testing.T) {
+	exact, err := ExactShapley(3, tableII)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := StratifiedShapley(3, tableII, 500, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		if math.Abs(got[i]-exact[i]) > 0.01 {
+			t.Fatalf("stratified %v vs exact %v", got, exact)
+		}
+	}
+}
+
+func TestVarianceReductionOnAdditiveGame(t *testing.T) {
+	// On an additive game every estimator is exact per permutation, so all
+	// must return the worths with near-zero error even at tiny budgets.
+	worth := []float64{0.3, 0.1, 0.6}
+	v := func(mask uint64) (float64, error) {
+		s := 0.0
+		for i, w := range worth {
+			if mask&(1<<uint(i)) != 0 {
+				s += w
+			}
+		}
+		return s, nil
+	}
+	anti, err := AntitheticShapley(3, v, 2, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := StratifiedShapley(3, v, 1, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range worth {
+		if math.Abs(anti[i]-worth[i]) > 1e-9 || math.Abs(strat[i]-worth[i]) > 1e-9 {
+			t.Fatalf("additive game not exact: anti %v strat %v", anti, strat)
+		}
+	}
+}
+
+func TestAntitheticBeatsPlainAtEqualBudget(t *testing.T) {
+	// Average squared error across seeds at the same coalition-evaluation
+	// budget: antithetic pairs should not be worse than plain sampling.
+	exact, _ := ExactShapley(3, tableII)
+	mse := func(est func(seed int64) []float64) float64 {
+		total := 0.0
+		const seeds = 40
+		for s := int64(0); s < seeds; s++ {
+			got := est(s)
+			for i := range exact {
+				d := got[i] - exact[i]
+				total += d * d
+			}
+		}
+		return total / seeds
+	}
+	plainMSE := mse(func(seed int64) []float64 {
+		got, err := SampledShapley(3, tableII, ShapleyConfig{Permutations: 8, Rand: stats.NewRNG(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	})
+	antiMSE := mse(func(seed int64) []float64 {
+		got, err := AntitheticShapley(3, tableII, 4, stats.NewRNG(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	})
+	if antiMSE > plainMSE*1.5 {
+		t.Fatalf("antithetic variance regressed: %v vs plain %v", antiMSE, plainMSE)
+	}
+	t.Logf("MSE plain=%.6f antithetic=%.6f", plainMSE, antiMSE)
+}
+
+func TestSamplingValidation(t *testing.T) {
+	if _, err := AntitheticShapley(3, tableII, 1, nil); err == nil {
+		t.Fatal("nil rand should error")
+	}
+	if _, err := StratifiedShapley(3, tableII, 1, nil); err == nil {
+		t.Fatal("nil rand should error")
+	}
+}
+
+func TestSamplingErrorPropagation(t *testing.T) {
+	boom := func(mask uint64) (float64, error) {
+		if mask != 0 {
+			return 0, errBoom
+		}
+		return 0, nil
+	}
+	if _, err := AntitheticShapley(3, boom, 1, stats.NewRNG(1)); err == nil {
+		t.Fatal("antithetic should propagate errors")
+	}
+	if _, err := StratifiedShapley(3, boom, 1, stats.NewRNG(1)); err == nil {
+		t.Fatal("stratified should propagate errors")
+	}
+}

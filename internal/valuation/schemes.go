@@ -1,0 +1,184 @@
+package valuation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+)
+
+// Scheme is the common face of every contribution estimator in this
+// repository (the four baselines here and core.Scheme for CTFL): given the
+// participants and the federation-reserved test set, produce one score per
+// participant.
+type Scheme interface {
+	Name() string
+	Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error)
+}
+
+// Oracle memoizes coalition utilities: each distinct coalition is trained
+// (FedAvg over its members) and evaluated once. This is the black-box
+// retraining loop that makes the combinatorial baselines expensive — CTFL's
+// whole point is to avoid it.
+type Oracle struct {
+	trainer *fl.Trainer
+	parts   []*fl.Participant
+	test    *dataset.Table
+
+	cache map[uint64]float64
+	// Evals counts actual trainings performed (cache misses).
+	Evals int
+	// EmptyUtility is v(∅); defaults to majority-class accuracy on the test
+	// set (the best label-only guess, ~50% on balanced tasks as in the
+	// paper's Table II).
+	EmptyUtility float64
+}
+
+// NewOracle builds a memoizing utility oracle over a fixed participant list.
+func NewOracle(trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table) *Oracle {
+	pos := 0
+	for _, in := range test.Instances {
+		if in.Label == 1 {
+			pos++
+		}
+	}
+	maj := float64(pos) / float64(max(1, test.Len()))
+	if maj < 0.5 {
+		maj = 1 - maj
+	}
+	return &Oracle{
+		trainer:      trainer,
+		parts:        parts,
+		test:         test,
+		cache:        map[uint64]float64{},
+		EmptyUtility: maj,
+	}
+}
+
+// Utility returns v(D_S) for the coalition mask, training at most once per
+// distinct coalition.
+func (o *Oracle) Utility(mask uint64) (float64, error) {
+	if mask == 0 {
+		return o.EmptyUtility, nil
+	}
+	if u, ok := o.cache[mask]; ok {
+		return u, nil
+	}
+	var coalition []*fl.Participant
+	for i, p := range o.parts {
+		if mask&(1<<uint(i)) != 0 {
+			coalition = append(coalition, p)
+		}
+	}
+	model, err := o.trainer.Train(coalition)
+	if err != nil {
+		return 0, fmt.Errorf("valuation: training coalition %b: %w", mask, err)
+	}
+	u := o.trainer.Evaluate(model, o.test)
+	o.cache[mask] = u
+	o.Evals++
+	return u, nil
+}
+
+// oracleFor returns shared when non-nil (coalition evaluations are then
+// reused across schemes — only valid while the participant list is
+// unchanged) and a fresh memoizing oracle otherwise.
+func oracleFor(shared *Oracle, trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table) *Oracle {
+	if shared != nil {
+		return shared
+	}
+	return NewOracle(trainer, parts, test)
+}
+
+// Individual is the baseline phi(i) = v({i}).
+type Individual struct {
+	Trainer *fl.Trainer
+	// SharedOracle optionally reuses coalition evaluations across schemes.
+	SharedOracle *Oracle
+}
+
+// Name implements Scheme.
+func (s *Individual) Name() string { return "Individual" }
+
+// Scores implements Scheme.
+func (s *Individual) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
+	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	return IndividualValues(len(parts), o.Utility)
+}
+
+// LeaveOneOut is the baseline phi(i) = v(D_N) − v(D_{N\i}).
+type LeaveOneOut struct {
+	Trainer *fl.Trainer
+	// SharedOracle optionally reuses coalition evaluations across schemes.
+	SharedOracle *Oracle
+}
+
+// Name implements Scheme.
+func (s *LeaveOneOut) Name() string { return "LeaveOneOut" }
+
+// Scores implements Scheme.
+func (s *LeaveOneOut) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
+	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	return LeaveOneOutValues(len(parts), o.Utility)
+}
+
+// ShapleyValue is the truncated Monte-Carlo Shapley baseline.
+type ShapleyValue struct {
+	Trainer *fl.Trainer
+	// Permutations: 0 means the Θ(n² log n)-marginals default.
+	Permutations int
+	// TruncationEps for early stopping (default 0.01).
+	TruncationEps float64
+	// Seed for permutation sampling.
+	Seed int64
+	// SharedOracle optionally reuses coalition evaluations across schemes.
+	SharedOracle *Oracle
+}
+
+// Name implements Scheme.
+func (s *ShapleyValue) Name() string { return "ShapleyValue" }
+
+// Scores implements Scheme.
+func (s *ShapleyValue) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
+	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	eps := s.TruncationEps
+	if eps == 0 {
+		eps = 0.01
+	}
+	return SampledShapley(len(parts), o.Utility, ShapleyConfig{
+		Permutations:  s.Permutations,
+		TruncationEps: eps,
+		Rand:          rand.New(rand.NewSource(s.Seed + 101)),
+	})
+}
+
+// LeastCore is the sampled least-core baseline.
+type LeastCore struct {
+	Trainer *fl.Trainer
+	// Samples: 0 means the ceil(n² log2 n) default.
+	Samples int
+	// Seed for coalition sampling.
+	Seed int64
+	// SharedOracle optionally reuses coalition evaluations across schemes.
+	SharedOracle *Oracle
+}
+
+// Name implements Scheme.
+func (s *LeastCore) Name() string { return "LeastCore" }
+
+// Scores implements Scheme.
+func (s *LeastCore) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
+	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	return SampledLeastCore(len(parts), o.Utility, LeastCoreConfig{
+		Samples: s.Samples,
+		Rand:    rand.New(rand.NewSource(s.Seed + 202)),
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package valuation
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/stats"
+)
+
+// tinyFederation builds a fast 3-participant tic-tac-toe federation with a
+// small model so scheme integration tests stay quick.
+func tinyFederation(t *testing.T) (*fl.Trainer, []*fl.Participant, *dataset.Table) {
+	t.Helper()
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(11)
+	train, test := tab.Split(r, 0.25)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := fl.PartitionSkewLabel(train, 3, 0.8, r)
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 1, LocalEpochs: 6, Parallel: true,
+		Model: nn.Config{Hidden: []int{32}, Grafting: true, Seed: 5, BatchSize: 128},
+	})
+	return trainer, parts, test
+}
+
+func TestOracleMemoizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	trainer, parts, test := tinyFederation(t)
+	o := NewOracle(trainer, parts, test)
+	u1, err := o.Utility(0b011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := o.Utility(0b011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u2 {
+		t.Fatalf("memoized utility changed: %v vs %v", u1, u2)
+	}
+	if o.Evals != 1 {
+		t.Fatalf("Evals = %d, want 1", o.Evals)
+	}
+	if u1 < 0.4 || u1 > 1 {
+		t.Fatalf("implausible utility %v", u1)
+	}
+	// Empty coalition: majority-class accuracy, no training.
+	e, err := o.Utility(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < 0.5 || e > 0.8 {
+		t.Fatalf("empty utility = %v, want majority fraction", e)
+	}
+	if o.Evals != 1 {
+		t.Fatalf("empty coalition should not train; Evals = %d", o.Evals)
+	}
+}
+
+func TestAllSchemesProduceScores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	trainer, parts, test := tinyFederation(t)
+	schemes := []Scheme{
+		&Individual{Trainer: trainer},
+		&LeaveOneOut{Trainer: trainer},
+		&ShapleyValue{Trainer: trainer, Permutations: 4, Seed: 1},
+		&LeastCore{Trainer: trainer, Samples: 8, Seed: 1},
+	}
+	wantNames := []string{"Individual", "LeaveOneOut", "ShapleyValue", "LeastCore"}
+	for i, s := range schemes {
+		if s.Name() != wantNames[i] {
+			t.Fatalf("scheme %d name = %q, want %q", i, s.Name(), wantNames[i])
+		}
+		scores, err := s.Scores(parts, test)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(scores) != len(parts) {
+			t.Fatalf("%s returned %d scores for %d participants", s.Name(), len(scores), len(parts))
+		}
+	}
+}

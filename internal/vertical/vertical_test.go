@@ -1,0 +1,345 @@
+package vertical
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+// fixture: 4 binary features; party X owns f0,f1, party Y owns f2,f3.
+// Rules (layer 0): node0 conj {f0=t} (+1), node1 conj {f0=t, f2=t} (+1),
+// node2 conj {f2=t} (-1), node3 dead.
+func buildFixture(t *testing.T) (*rules.Set, *Partition, *dataset.Schema) {
+	t.Helper()
+	schema := &dataset.Schema{Name: "v"}
+	for _, n := range []string{"f0", "f1", "f2", "f3"} {
+		schema.Features = append(schema.Features, dataset.Feature{
+			Name: n, Kind: dataset.Discrete, Categories: []string{"t", "f"},
+		})
+	}
+	enc, err := dataset.NewEncoder(schema, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.New(enc.Width(), nn.Config{Hidden: []int{4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	for i := range p {
+		p[i] = 0
+	}
+	in := enc.Width() // 4 features × 3 predicates = 12; f0=t at 0, f2=t at 6
+	p[0*in+0] = 1
+	p[1*in+0] = 1
+	p[1*in+6] = 1
+	p[2*in+6] = 1
+	head := 4 * in
+	p[head+0] = 1
+	p[head+1] = 1
+	p[head+2] = -1
+	p[head+4] = -0.01 // bias: empty vote → negative
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.Extract(m, enc)
+
+	part, err := NewPartition(schema, []*Party{
+		{ID: 0, Name: "X", Features: []int{0, 1}},
+		{ID: 1, Name: "Y", Features: []int{2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, part, schema
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	_, _, schema := buildFixture(t)
+	if _, err := NewPartition(schema, []*Party{{Name: "X", Features: []int{0, 1, 2}}}); err == nil {
+		t.Fatal("uncovered feature should error")
+	}
+	if _, err := NewPartition(schema, []*Party{
+		{Name: "X", Features: []int{0, 1, 2, 3}},
+		{Name: "Y", Features: []int{3}},
+	}); err == nil {
+		t.Fatal("doubly-owned feature should error")
+	}
+	if _, err := NewPartition(schema, []*Party{{Name: "X", Features: []int{0, 1, 2, 9}}}); err == nil {
+		t.Fatal("out-of-range feature should error")
+	}
+}
+
+func TestRuleShares(t *testing.T) {
+	rs, part, _ := buildFixture(t)
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node0 {f0}: all X. node1 {f0, f2}: split 50/50. node2 {f2}: all Y.
+	if s := e.ruleShare[0]; s[0] != 1 || s[1] != 0 {
+		t.Fatalf("rule0 shares = %v", s)
+	}
+	if s := e.ruleShare[1]; math.Abs(s[0]-0.5) > 1e-12 || math.Abs(s[1]-0.5) > 1e-12 {
+		t.Fatalf("rule1 shares = %v", s)
+	}
+	if s := e.ruleShare[2]; s[0] != 0 || s[1] != 1 {
+		t.Fatalf("rule2 shares = %v", s)
+	}
+}
+
+func tRow(f0, f1, f2, f3 float64, label int) dataset.Instance {
+	return dataset.Instance{Values: []float64{f0, f1, f2, f3}, Label: label}
+}
+
+func TestTraceCreditSplit(t *testing.T) {
+	rs, part, schema := buildFixture(t)
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const yes, no = 0, 1
+	test := &dataset.Table{Schema: schema, Instances: []dataset.Instance{
+		// te0: f0=t only → rules 0,1? rule1 needs f2=t too → only rule0.
+		// score = +1 → pred 1, label 1: TP credited 100% to X.
+		tRow(yes, no, no, no, 1),
+		// te1: f0=t, f2=t → rules 0,1 (+2) and rule2 (-1): score +1 → pred 1,
+		// label 1: credit = (w0·X + w1·(X/2+Y/2))/(w0+w1) → X 0.75, Y 0.25.
+		tRow(yes, no, yes, no, 1),
+		// te2: f2=t only → rule2 (-1): pred 0, label 0: TN credit all Y.
+		tRow(no, no, yes, no, 0),
+		// te3: nothing → bias pred 0, label 0: correct but uncovered.
+		tRow(no, no, no, no, 0),
+	}}
+	res := e.Trace(test)
+	if res.Accuracy() != 1 {
+		t.Fatalf("accuracy = %v", res.Accuracy())
+	}
+	if res.Uncovered != 1 {
+		t.Fatalf("uncovered = %d", res.Uncovered)
+	}
+	// Per-instance credit 1/4 each. X: te0 (1/4) + te1 (1/4·0.75) = 0.4375.
+	// Y: te1 (1/4·0.25) + te2 (1/4) = 0.3125.
+	want := []float64{0.4375, 0.3125}
+	got := res.Scores()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("scores = %v, want %v", got, want)
+		}
+	}
+	// Group rationality: credit sums to accuracy minus uncovered share.
+	sum := stats.Sum(got)
+	wantSum := res.Accuracy() - float64(res.Uncovered)/float64(res.TestSize)
+	if math.Abs(sum-wantSum) > 1e-12 {
+		t.Fatalf("credit sum %v, want %v", sum, wantSum)
+	}
+}
+
+func TestTraceBlameSide(t *testing.T) {
+	rs, part, schema := buildFixture(t)
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const yes, no = 0, 1
+	test := &dataset.Table{Schema: schema, Instances: []dataset.Instance{
+		// f2=t, label 1 → rule2 fires, pred 0: FN blamed on Y.
+		tRow(no, no, yes, no, 1),
+	}}
+	res := e.Trace(test)
+	if res.Accuracy() != 0 {
+		t.Fatalf("accuracy = %v", res.Accuracy())
+	}
+	if res.Blame[1] <= 0 || res.Blame[0] != 0 {
+		t.Fatalf("blame = %v, want all on Y", res.Blame)
+	}
+	if stats.Sum(res.Credit) != 0 {
+		t.Fatalf("credit should be zero: %v", res.Credit)
+	}
+}
+
+func TestZeroElementParty(t *testing.T) {
+	rs, _, schema := buildFixture(t)
+	// Three-way split where party Z owns only f1,f3 — features absent from
+	// every live rule.
+	part, err := NewPartition(schema, []*Party{
+		{ID: 0, Name: "X", Features: []int{0}},
+		{ID: 1, Name: "Y", Features: []int{2}},
+		{ID: 2, Name: "Z", Features: []int{1, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const yes, no = 0, 1
+	test := &dataset.Table{Schema: schema, Instances: []dataset.Instance{
+		tRow(yes, yes, no, no, 1),
+		tRow(no, no, yes, yes, 0),
+	}}
+	res := e.Trace(test)
+	if res.Credit[2] != 0 || res.Blame[2] != 0 {
+		t.Fatalf("party Z should score zero: credit %v blame %v", res.Credit, res.Blame)
+	}
+}
+
+func TestSymmetryMirroredParties(t *testing.T) {
+	// Two parties owning structurally mirrored features of a symmetric rule
+	// set must earn equal credit on a symmetric test set.
+	rs, part, schema := buildFixture(t)
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const yes, no = 0, 1
+	test := &dataset.Table{Schema: schema, Instances: []dataset.Instance{
+		tRow(yes, no, no, no, 1), // all-X credit
+		tRow(no, no, yes, no, 0), // all-Y credit
+	}}
+	res := e.Trace(test)
+	if math.Abs(res.Credit[0]-res.Credit[1]) > 1e-12 {
+		t.Fatalf("mirrored parties differ: %v", res.Credit)
+	}
+}
+
+func TestSkipConnectionShares(t *testing.T) {
+	// Two-layer model: a layer-1 node referencing a layer-0 node through the
+	// skip connection must inherit the referenced node's ownership shares.
+	schema := &dataset.Schema{Name: "v2"}
+	for _, n := range []string{"f0", "f1"} {
+		schema.Features = append(schema.Features, dataset.Feature{
+			Name: n, Kind: dataset.Discrete, Categories: []string{"t", "f"},
+		})
+	}
+	enc, err := dataset.NewEncoder(schema, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.New(enc.Width(), nn.Config{Hidden: []int{2, 2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	for i := range p {
+		p[i] = 0
+	}
+	in := enc.Width() // 6 predicates; f0=t at 0, f1=t at 3
+	// layer0 node0 (conj): f0=t ∧ f1=t → shares split X/Y 50/50.
+	p[0*in+0] = 1
+	p[0*in+3] = 1
+	// layer1 (input width 6+2) node0 (conj): operands = predicate f0=t and
+	// layer0 node0 (index 6).
+	l1 := 2 * in
+	p[l1+0*8+0] = 1
+	p[l1+0*8+6] = 1
+	head := l1 + 2*8
+	p[head+0] = 1 // layer0 node0 live
+	p[head+2] = 1 // layer1 node0 live
+	if err := m.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	rs := rules.Extract(m, enc)
+	part, err := NewPartition(schema, []*Party{
+		{ID: 0, Name: "X", Features: []int{0}},
+		{ID: 1, Name: "Y", Features: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layer-1 rule (index 2): operands f0=t (X) and node0 (X/Y 50/50) →
+	// shares X 0.75, Y 0.25.
+	var found bool
+	for _, r := range rs.Rules {
+		if r.Layer == 1 {
+			s := e.ruleShare[r.Index]
+			if math.Abs(s[0]-0.75) > 1e-12 || math.Abs(s[1]-0.25) > 1e-12 {
+				t.Fatalf("layer-1 shares = %v, want [0.75 0.25]", s)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no live layer-1 rule extracted")
+	}
+}
+
+func TestEmptyTestTable(t *testing.T) {
+	rs, part, schema := buildFixture(t)
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Trace(&dataset.Table{Schema: schema})
+	if res.Accuracy() != 0 || res.TestSize != 0 {
+		t.Fatalf("empty trace = %+v", res)
+	}
+}
+
+func TestEndToEndTrainedVertical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// Train on tic-tac-toe and split the board columns across three
+	// parties (left / middle / right column owners).
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(6)
+	train, test := tab.Split(r, 0.2)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := enc.EncodeTable(train)
+	m, err := nn.New(enc.Width(), nn.Config{
+		Hidden: []int{64}, Epochs: 40, Grafting: true, Seed: 3,
+		L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(xs, ys)
+	rs := rules.Extract(m, enc)
+
+	part, err := NewPartition(tab.Schema, []*Party{
+		{ID: 0, Name: "left", Features: []int{0, 3, 6}},
+		{ID: 1, Name: "middle", Features: []int{1, 4, 7}},
+		{ID: 2, Name: "right", Features: []int{2, 5, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimator(rs, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Trace(test)
+	if res.Accuracy() < 0.85 {
+		t.Fatalf("accuracy %v too low", res.Accuracy())
+	}
+	scores := res.Scores()
+	t.Logf("vertical scores (left/middle/right columns): %v", scores)
+	for i, s := range scores {
+		if s <= 0 {
+			t.Fatalf("party %d earned nothing: %v", i, scores)
+		}
+	}
+	// The middle column participates in 4 of the 8 winning lines (vs 3 for
+	// the side columns), so its feature owner should not be the weakest.
+	if scores[1] < scores[0] && scores[1] < scores[2] {
+		t.Fatalf("middle column should not rank last: %v", scores)
+	}
+	sum := stats.Sum(scores)
+	wantSum := res.Accuracy() - float64(res.Uncovered)/float64(res.TestSize)
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("group rationality: %v vs %v", sum, wantSum)
+	}
+}
