@@ -1,0 +1,195 @@
+package main
+
+// ctfl bench — the repeatable benchmark runner behind the committed
+// BENCH_*.json baselines. It shells out to `go test -run=NONE -bench=...
+// -benchmem`, parses the standard benchmark output, optionally joins the
+// numbers against saved "before" outputs (raw `go test -bench` text files),
+// and writes a machine-readable JSON report with per-benchmark ns/op,
+// B/op, allocs/op and speedup factors.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchEntry is one benchmark's measurement (and, when a baseline was
+// supplied, its before/after comparison).
+type benchEntry struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+
+	BeforeNsOp     float64 `json:"before_ns_op,omitempty"`
+	BeforeBytesOp  float64 `json:"before_bytes_op,omitempty"`
+	BeforeAllocsOp float64 `json:"before_allocs_op,omitempty"`
+	// Speedup is before_ns_op / ns_op (>1 means faster than the baseline).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// benchReport is the BENCH_*.json document.
+type benchReport struct {
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Bench      string       `json:"bench_regex"`
+	Packages   []string     `json:"packages"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// defaultBenchRegex covers the hot paths the performance overhaul targets:
+// tracing (construction + queries), NN training and batch inference, and
+// the end-to-end Table II pipeline.
+const defaultBenchRegex = "BenchmarkTrace|BenchmarkNewTracer|BenchmarkTrainEpochs|" +
+	"BenchmarkPredictBatch|BenchmarkScoreAndActivations|BenchmarkTable2|BenchmarkTracingThroughput"
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	benchRe := fs.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
+	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,.", "comma-separated packages to benchmark")
+	before := fs.String("before", "", "comma-separated files or globs of saved `go test -bench` output to compare against")
+	out := fs.String("o", "", "write the JSON report here (default: stdout)")
+	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 2s, 100x)")
+	count := fs.Int("count", 1, "go test -count value")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pkgList := strings.Split(*pkgs, ",")
+	goArgs := []string{"test", "-run=NONE", "-bench=" + *benchRe, "-benchmem",
+		"-count=" + strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime="+*benchtime)
+	}
+	goArgs = append(goArgs, pkgList...)
+
+	fmt.Fprintf(os.Stderr, "ctfl bench: go %s\n", strings.Join(goArgs, " "))
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("bench: go test failed: %w", err)
+	}
+	os.Stderr.Write(raw)
+
+	entries := parseBenchOutput(string(raw))
+	if len(entries) == 0 {
+		return fmt.Errorf("bench: no benchmark results parsed")
+	}
+
+	if *before != "" {
+		base, err := loadBaseline(*before)
+		if err != nil {
+			return err
+		}
+		for i := range entries {
+			b, ok := base[entries[i].Name]
+			if !ok {
+				continue
+			}
+			entries[i].BeforeNsOp = b.NsOp
+			entries[i].BeforeBytesOp = b.BytesOp
+			entries[i].BeforeAllocsOp = b.AllocsOp
+			if entries[i].NsOp > 0 {
+				entries[i].Speedup = round2(b.NsOp / entries[i].NsOp)
+			}
+		}
+	}
+
+	rep := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *benchRe,
+		Packages:   pkgList,
+		Benchmarks: entries,
+	}
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if *out == "" {
+		os.Stdout.Write(doc)
+		return nil
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ctfl bench: wrote %s (%d benchmarks)\n", *out, len(entries))
+	return nil
+}
+
+// benchLine matches standard `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkTraceIndexed-8   132   8891909 ns/op   2654486 B/op   6566 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines recorded on a different
+// core count still join by name.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+func parseBenchOutput(out string) []benchEntry {
+	var entries []benchEntry
+	seen := map[string]int{} // name -> index, averaging repeated -count runs
+	counts := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		e := benchEntry{Name: m[1]}
+		e.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			e.BytesOp, _ = strconv.ParseFloat(m[3], 64)
+			e.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if i, ok := seen[e.Name]; ok {
+			n := float64(counts[e.Name])
+			entries[i].NsOp = (entries[i].NsOp*n + e.NsOp) / (n + 1)
+			entries[i].BytesOp = (entries[i].BytesOp*n + e.BytesOp) / (n + 1)
+			entries[i].AllocsOp = (entries[i].AllocsOp*n + e.AllocsOp) / (n + 1)
+			counts[e.Name]++
+			continue
+		}
+		seen[e.Name] = len(entries)
+		counts[e.Name] = 1
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// loadBaseline parses one or more saved `go test -bench` outputs into a
+// name-indexed map. Arguments may be files or globs, comma separated.
+func loadBaseline(spec string) (map[string]benchEntry, error) {
+	base := map[string]benchEntry{}
+	for _, pat := range strings.Split(spec, ",") {
+		files, err := filepath.Glob(pat)
+		if err != nil {
+			return nil, fmt.Errorf("bench: bad -before pattern %q: %w", pat, err)
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("bench: -before pattern %q matched no files", pat)
+		}
+		for _, f := range files {
+			raw, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range parseBenchOutput(string(raw)) {
+				base[e.Name] = e
+			}
+		}
+	}
+	return base, nil
+}
+
+func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }

@@ -10,6 +10,7 @@
 //	ctfl run fig7   [flags]            tic-tac-toe interpretability study
 //	ctfl run tablev [flags]            adult interpretability study
 //	ctfl run all    [flags]            everything above
+//	ctfl bench [flags]                 hot-path benchmarks -> JSON report
 //
 // Common flags (after the experiment name):
 //
@@ -51,6 +52,8 @@ func run(args []string) error {
 			return fmt.Errorf("run: missing experiment name (table2|fig4|fig5|fig6|fig7|tablev|ablation|all)")
 		}
 		return cmdRun(args[1], args[2:])
+	case "bench":
+		return cmdBench(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -66,6 +69,9 @@ commands:
   ctfl datasets             list benchmark datasets
   ctfl run <experiment>     table2 | fig4 | fig5 | fig6 | fig7 | tablev |
                             ablation | quality | all
+  ctfl bench                run the hot-path benchmarks and emit a JSON
+                            report (-before <saved output> for speedups,
+                            -o BENCH_1.json to persist)
   ctfl help                 this message
 
 run flags: -dataset -rows -n -seed -skew -full (see -h of each run)`)

@@ -151,6 +151,20 @@ func (s *Set) And(o *Set) *Set {
 	return s
 }
 
+// AndInto writes s ∩ o into dst and returns it, leaving s and o untouched.
+// A nil (or wrong-width) dst is replaced by a fresh set, so callers can hold
+// one reusable destination: it is the allocation-free form of Clone().And().
+func (s *Set) AndInto(o, dst *Set) *Set {
+	s.sameWidth(o)
+	if dst == nil || dst.width != s.width {
+		dst = New(s.width)
+	}
+	for i, w := range s.words {
+		dst.words[i] = w & o.words[i]
+	}
+	return dst
+}
+
 // Or sets s = s ∪ o and returns s.
 func (s *Set) Or(o *Set) *Set {
 	s.sameWidth(o)
@@ -167,6 +181,19 @@ func (s *Set) AndNot(o *Set) *Set {
 		s.words[i] &^= o.words[i]
 	}
 	return s
+}
+
+// ForEach calls fn with the position of every set bit in ascending order.
+// It is the allocation-free form of ranging over Indices.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		base := wi * wordBits
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &= w - 1
+		}
+	}
 }
 
 // Indices returns the positions of all set bits in ascending order.
@@ -229,6 +256,19 @@ func (s *Set) Key() string {
 		fmt.Fprintf(&b, "%016x", w)
 	}
 	return b.String()
+}
+
+// AppendKey appends the raw little-endian words of the set to dst and
+// returns it: an 8-bytes-per-word dedupe key. Two sets of equal width append
+// identical bytes iff they are Equal; unlike Key it does no hex formatting,
+// so building (and looking up) the key costs a single memcpy-sized pass.
+func (s *Set) AppendKey(dst []byte) []byte {
+	for _, w := range s.words {
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return dst
 }
 
 // String renders the set as a bit string, lowest index first, e.g. "10110".

@@ -300,3 +300,72 @@ func BenchmarkWeightedIntersect512(b *testing.B) {
 		_ = x.WeightedIntersect(y, w)
 	}
 }
+
+func TestPropertyAndIntoMatchesCloneAnd(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(200)
+		a, b := randomSet(r, width), randomSet(r, width)
+		want := a.Clone().And(b)
+		// nil destination allocates; reused destination must be overwritten.
+		got := a.AndInto(b, nil)
+		if !got.Equal(want) {
+			return false
+		}
+		reused := randomSet(r, width) // stale bits must not leak through
+		if !a.AndInto(b, reused).Equal(want) {
+			return false
+		}
+		// Wrong-width destination is replaced, not written through.
+		if !a.AndInto(b, randomSet(r, width+1)).Equal(want) {
+			return false
+		}
+		// Operands stay untouched.
+		return a.Equal(a.Clone()) && b.Equal(b.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyForEachMatchesIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 1+r.Intn(200))
+		var got []int
+		s.ForEach(func(i int) { got = append(got, i) })
+		want := s.Indices()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAppendKeyMatchesEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		width := 1 + r.Intn(200)
+		a, b := randomSet(r, width), randomSet(r, width)
+		ka := string(a.AppendKey(nil))
+		kb := string(b.AppendKey(nil))
+		if (ka == kb) != a.Equal(b) {
+			return false
+		}
+		// Appending to a prefix keeps the prefix.
+		pre := []byte{0xAB}
+		full := a.AppendKey(pre)
+		return full[0] == 0xAB && string(full[1:]) == ka
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -66,5 +66,6 @@ func (t *Tracer) WithLocalDP(eps float64, seed int64) *Tracer {
 		noisy := PerturbActivations(s, eps, r)
 		dp.trainActs[j] = noisy.And(t.rs.ClassMask(t.trainLabel[j]))
 	}
+	dp.buildIndex()
 	return dp
 }

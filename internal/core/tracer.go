@@ -15,7 +15,6 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/fl"
-	"repro/internal/fpm"
 	"repro/internal/rules"
 )
 
@@ -28,11 +27,15 @@ type Config struct {
 	// Delta is the macro scheme's minimum related-instance count (Eq. 6).
 	// Default 2.
 	Delta int
-	// Grouping enables the Max-Miner grouped fast path for large datasets
-	// (Section III-C, "Efficient Computation of CTFL").
+	// Grouping historically enabled the Max-Miner grouped fast path for
+	// large datasets (Section III-C, "Efficient Computation of CTFL"). The
+	// tracer now always runs on an inverted rule index that strictly
+	// dominates that candidate pruning — every pattern only visits training
+	// instances sharing at least one activated rule — so this flag is kept
+	// for API compatibility and no longer changes behaviour or results.
 	Grouping bool
-	// GroupMinSupport is the minimum support fraction for Max-Miner groups.
-	// Default 0.05.
+	// GroupMinSupport was the minimum support fraction for Max-Miner groups.
+	// Retained for API compatibility; unused by the indexed tracer.
 	GroupMinSupport float64
 	// Workers bounds tracing parallelism; 0 means a small default.
 	Workers int
@@ -68,6 +71,35 @@ type Tracer struct {
 	trainActs  []*bitset.Set
 	// trainByLabel[l] lists training indices with label l.
 	trainByLabel [2][]int
+
+	// Tracing index, built once by buildIndex. Eq. 4 is a pure function of
+	// a training instance's class-side activation pattern, and real
+	// federations repeat patterns heavily, so the index deduplicates
+	// training instances into unique (label, pattern) groups and answers
+	// every query over those:
+	//
+	//	upat[u], uLabel[u], uTotal[u]  unique pattern, its label and its
+	//	                               precomputed weighted activation total
+	//	                               (the largest overlap it can reach)
+	//	uHist[u*numParts:...]          per-owner instance counts of group u
+	//	uMembers[u]                    training instance ids of group u
+	//	uByLabel[l]                    unique ids with label l, ascending
+	//	postings[r]                    unique ids whose pattern includes rule
+	//	                               r, ascending (the inverted index)
+	//	maxTotal[l]                    max of uTotal over label l — patterns
+	//	                               whose Eq. 4 threshold exceeds it are
+	//	                               rejected without touching anything
+	upat     []*bitset.Set
+	uLabel   []int32
+	uTotal   []float64
+	uHist    []int32
+	uMembers [][]int32
+	uByLabel [2][]int32
+	postings [][]int32
+	maxTotal [2]float64
+
+	// scratch pools per-goroutine accumulator state for traceInto.
+	scratch sync.Pool
 }
 
 // TrainingUpload is one training instance's contribution to the tracing
@@ -124,8 +156,104 @@ func NewTracerFromUploads(rs *rules.Set, numParts int, uploads []TrainingUpload,
 		t.trainActs = append(t.trainActs, side)
 		t.trainByLabel[u.Label] = append(t.trainByLabel[u.Label], idx)
 	}
+	t.buildIndex()
 	return t
 }
+
+// buildIndex deduplicates the training instances into unique (label,
+// class-side pattern) groups and constructs the rule → group posting lists,
+// per-group owner histograms and member lists, and per-group weighted
+// totals. All slabs are carved from contiguous backing arrays.
+func (t *Tracer) buildIndex() {
+	width := t.rs.Width()
+	weights := t.rs.Weights()
+
+	// 1. Dedupe training patterns by raw (label, words) key.
+	idByKey := map[string]int32{}
+	var keyBuf []byte
+	uid := make([]int32, len(t.trainActs))
+	for j, a := range t.trainActs {
+		keyBuf = append(keyBuf[:0], byte(t.trainLabel[j]))
+		keyBuf = a.AppendKey(keyBuf)
+		id, ok := idByKey[string(keyBuf)]
+		if !ok {
+			id = int32(len(t.upat))
+			idByKey[string(keyBuf)] = id
+			l := t.trainLabel[j]
+			t.upat = append(t.upat, a)
+			t.uLabel = append(t.uLabel, int32(l))
+			t.uByLabel[l] = append(t.uByLabel[l], id)
+		}
+		uid[j] = id
+	}
+	nu := len(t.upat)
+
+	// 2. Owner histograms and member lists per unique group.
+	t.uHist = make([]int32, nu*t.numParts)
+	sizes := make([]int32, nu)
+	for j := range t.trainActs {
+		t.uHist[int(uid[j])*t.numParts+t.trainOwner[j]]++
+		sizes[uid[j]]++
+	}
+	memberSlab := make([]int32, len(t.trainActs))
+	t.uMembers = make([][]int32, nu)
+	off := 0
+	for u, c := range sizes {
+		t.uMembers[u] = memberSlab[off : off : off+int(c)]
+		off += int(c)
+	}
+	for j := range t.trainActs {
+		t.uMembers[uid[j]] = append(t.uMembers[uid[j]], int32(j))
+	}
+
+	// 3. Inverted index over unique patterns, plus weighted totals.
+	ruleCount := make([]int32, width)
+	incidences := 0
+	for _, a := range t.upat {
+		a.ForEach(func(r int) {
+			ruleCount[r]++
+			incidences++
+		})
+	}
+	postSlab := make([]int32, incidences)
+	t.postings = make([][]int32, width)
+	off = 0
+	for r, c := range ruleCount {
+		t.postings[r] = postSlab[off : off : off+int(c)]
+		off += int(c)
+	}
+	t.uTotal = make([]float64, nu)
+	t.maxTotal = [2]float64{}
+	for u, a := range t.upat {
+		tot := 0.0
+		a.ForEach(func(r int) {
+			t.postings[r] = append(t.postings[r], int32(u))
+			tot += weights[r]
+		})
+		t.uTotal[u] = tot
+		if l := t.uLabel[u]; tot > t.maxTotal[l] {
+			t.maxTotal[l] = tot
+		}
+	}
+	t.scratch = sync.Pool{New: func() any {
+		return &traceScratch{acc: make([]float64, nu), stamp: make([]uint32, nu)}
+	}}
+}
+
+// traceScratch is per-goroutine accumulator state for traceInto: acc holds
+// weighted-overlap partial sums per unique pattern, stamp generation-tags
+// entries so the arrays never need zeroing between queries, and
+// touched/matched are reusable id buffers.
+type traceScratch struct {
+	acc     []float64
+	stamp   []uint32
+	gen     uint32
+	touched []int32
+	matched []int32
+}
+
+func (t *Tracer) getScratch() *traceScratch  { return t.scratch.Get().(*traceScratch) }
+func (t *Tracer) putScratch(sc *traceScratch) { t.scratch.Put(sc) }
 
 // NumParticipants returns the number of indexed participants.
 func (t *Tracer) NumParticipants() int { return t.numParts }
@@ -152,8 +280,8 @@ type Result struct {
 	// Counts[te][i] = |D_i ∩ ct(x_te)| — participant i's related training
 	// instances for test instance te (Eq. 4, traced on the predicted side,
 	// which covers all four TP/TN/FP/FN cases of Section III-C).
-	// Rows of test instances with identical activation patterns share the
-	// same backing slice; treat Counts as read-only.
+	// Every row is an independent copy: mutating one row cannot corrupt
+	// another test instance's counts.
 	Counts [][]int
 	// TrainMatched[j] counts how many test instances training instance j was
 	// related to (drives the useless-data ratio).
@@ -185,7 +313,7 @@ type patternGroup struct {
 // traceOut is the per-pattern tracing result.
 type traceOut struct {
 	counts  []int
-	matched []int // training indices that passed Eq. 4
+	matched []int32 // unique training-pattern ids that passed Eq. 4
 }
 
 // Trace runs the full tracing pass of Section III-C over the test table:
@@ -214,26 +342,29 @@ func (t *Tracer) Trace(test *dataset.Table) *Result {
 	sideActs := make([]*bitset.Set, test.Len())
 	sideWeight := make([]float64, test.Len())
 	for i, a := range acts {
-		side := a.Clone().And(t.rs.ClassMask(pred[i]))
+		side := a.AndInto(t.rs.ClassMask(pred[i]), nil)
 		sideActs[i] = side
 		sideWeight[i] = side.WeightedCount(weights)
 	}
 
-	// Dedupe identical (predicted label, side pattern) groups.
+	// Dedupe identical (predicted label, side pattern) groups. The key is
+	// the raw word encoding of the pattern prefixed by the predicted label —
+	// no formatting, and the map lookup on string(keyBuf) does not allocate.
 	byKey := map[string]*patternGroup{}
 	var order []*patternGroup
+	var keyBuf []byte
 	for i := range sideActs {
-		key := fmt.Sprintf("%d|%s", pred[i], sideActs[i].Key())
-		g, ok := byKey[key]
+		keyBuf = keyBuf[:0]
+		keyBuf = append(keyBuf, byte(pred[i]))
+		keyBuf = sideActs[i].AppendKey(keyBuf)
+		g, ok := byKey[string(keyBuf)]
 		if !ok {
 			g = &patternGroup{rep: i}
-			byKey[key] = g
+			byKey[string(keyBuf)] = g
 			order = append(order, g)
 		}
 		g.members = append(g.members, i)
 	}
-
-	candidates := t.candidateSets(order, sideActs, pred)
 
 	outs := make([]traceOut, len(order))
 	var wg sync.WaitGroup
@@ -244,19 +375,27 @@ func (t *Tracer) Trace(test *dataset.Table) *Result {
 		go func(gi int, g *patternGroup) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			outs[gi] = t.traceOne(sideActs[g.rep], sideWeight[g.rep], pred[g.rep], candidatePool(candidates, gi))
+			outs[gi] = t.traceOne(sideActs[g.rep], sideWeight[g.rep], pred[g.rep])
 		}(gi, g)
 	}
 	wg.Wait()
 
+	// One contiguous slab for all Counts rows; each test instance gets its
+	// own copy of its group's counts (no shared backing between rows).
+	slab := make([]int, test.Len()*t.numParts)
+	var trueSide *bitset.Set
 	for gi, g := range order {
 		out := outs[gi]
 		for _, te := range g.members {
-			res.Counts[te] = out.counts
-			for _, j := range out.matched {
-				res.TrainMatched[j]++
+			row := slab[te*t.numParts : (te+1)*t.numParts : (te+1)*t.numParts]
+			copy(row, out.counts)
+			res.Counts[te] = row
+			for _, u := range out.matched {
+				for _, j := range t.uMembers[u] {
+					res.TrainMatched[j]++
+				}
 			}
-			trueSide := acts[te].Clone().And(t.rs.ClassMask(res.Truth[te]))
+			trueSide = acts[te].AndInto(t.rs.ClassMask(res.Truth[te]), trueSide)
 			t.accumulate(res, te, sideActs[te], trueSide, out)
 		}
 	}
@@ -270,40 +409,109 @@ func (t *Tracer) Trace(test *dataset.Table) *Result {
 // its own prediction logic and therefore cannot use Trace directly.
 func (t *Tracer) TraceActivations(side *bitset.Set, label int) []int {
 	denom := side.WeightedCount(t.rs.Weights())
-	return t.traceOne(side, denom, label, nil).counts
+	return t.traceOne(side, denom, label).counts
 }
 
 // traceOne computes Eq. 4 for one activation pattern: related training
 // instances are those in the predicted class whose class-side activations
 // cover at least TauW of the pattern's weighted activations.
-func (t *Tracer) traceOne(side *bitset.Set, denom float64, label int, pool []int) traceOut {
+func (t *Tracer) traceOne(side *bitset.Set, denom float64, label int) traceOut {
 	counts := make([]int, t.numParts)
-	var matched []int
-	if denom <= 0 {
-		return traceOut{counts: counts}
+	sc := t.getScratch()
+	m := t.traceInto(side, denom, label, counts, sc)
+	var matched []int32
+	if len(m) > 0 {
+		matched = append(matched, m...)
 	}
-	if pool == nil {
-		pool = t.trainByLabel[label]
-	}
-	weights := t.rs.Weights()
-	need := t.cfg.TauW*denom - 1e-12
-	for _, j := range pool {
-		if t.trainLabel[j] != label {
-			continue
-		}
-		if t.trainActs[j].WeightedIntersect(side, weights) >= need {
-			counts[t.trainOwner[j]]++
-			matched = append(matched, j)
-		}
-	}
+	t.putScratch(sc)
 	return traceOut{counts: counts, matched: matched}
 }
 
-func candidatePool(candidates [][]int, gi int) []int {
-	if candidates == nil {
+// traceInto is the zero-allocation tracing kernel. It evaluates Eq. 4 over
+// the unique training-pattern groups, accumulates the matched groups' owner
+// histograms into counts (which must be zeroed, length numParts), and
+// returns the matched unique ids. The returned slice aliases sc and is only
+// valid until the next traceInto call with the same scratch.
+//
+// Two evaluation strategies produce bit-identical results, and each query
+// picks the cheaper one by predicted cost:
+//
+//   - inverted index: walk the posting list of every rule activated in
+//     side, accumulating each touched group's weighted overlap. Rules are
+//     visited in ascending order, so each group's overlap is summed in
+//     exactly the order WeightedIntersect uses — the sums, and therefore
+//     the threshold decisions, match the scan bit-for-bit (TestGoldenTrace
+//     and TestPropertyIndexMatchesLinearScanRandom pin this down).
+//     Cost ≈ total posting entries touched.
+//   - bit-parallel scan: WeightedIntersect against every same-label unique
+//     pattern. Cost ≈ number of same-label groups (each a few word ops).
+//
+// The index wins when side activates few, selective rules; the scan wins on
+// dense patterns whose rules occur in most groups.
+func (t *Tracer) traceInto(side *bitset.Set, denom float64, label int, counts []int, sc *traceScratch) []int32 {
+	if denom <= 0 {
 		return nil
 	}
-	return candidates[gi]
+	need := t.cfg.TauW*denom - 1e-12
+	// No indexed group of this label can reach the threshold: the
+	// precomputed per-group totals bound every possible overlap.
+	if t.maxTotal[label] < need {
+		return nil
+	}
+	weights := t.rs.Weights()
+	cand := t.uByLabel[label]
+	postingWork := 0
+	side.ForEach(func(r int) { postingWork += len(t.postings[r]) })
+
+	matched := sc.matched[:0]
+	// A posting entry (branch + float add) costs a few times more than one
+	// word of a bit-parallel intersect; 2x scan size is the measured
+	// break-even on word-sized rule sets.
+	if postingWork <= 2*len(cand) {
+		sc.gen++
+		if sc.gen == 0 { // generation counter wrapped: clear stamps once
+			for i := range sc.stamp {
+				sc.stamp[i] = 0
+			}
+			sc.gen = 1
+		}
+		gen := sc.gen
+		touched := sc.touched[:0]
+		side.ForEach(func(r int) {
+			w := weights[r]
+			for _, u := range t.postings[r] {
+				if sc.stamp[u] != gen {
+					sc.stamp[u] = gen
+					sc.acc[u] = w
+					touched = append(touched, u)
+				} else {
+					sc.acc[u] += w
+				}
+			}
+		})
+		for _, u := range touched {
+			if int(t.uLabel[u]) == label {
+				if sc.acc[u] >= need {
+					matched = append(matched, u)
+				}
+			}
+		}
+		sc.touched = touched
+	} else {
+		for _, u := range cand {
+			if side.WeightedIntersect(t.upat[u], weights) >= need {
+				matched = append(matched, u)
+			}
+		}
+	}
+	for _, u := range matched {
+		hist := t.uHist[int(u)*t.numParts : (int(u)+1)*t.numParts]
+		for i, h := range hist {
+			counts[i] += int(h)
+		}
+	}
+	sc.matched = matched
+	return matched
 }
 
 // accumulate updates the interpretability counters for one test instance.
@@ -316,7 +524,7 @@ func (t *Tracer) accumulate(res *Result, te int, side, trueSide *bitset.Set, out
 	}
 	// Weighted rule activation counts per participant (Section IV-B):
 	// rules with higher weights are prioritized.
-	for _, ri := range side.Indices() {
+	side.ForEach(func(ri int) {
 		w := weights[ri]
 		for pi, c := range out.counts {
 			if c == 0 {
@@ -329,80 +537,14 @@ func (t *Tracer) accumulate(res *Result, te int, side, trueSide *bitset.Set, out
 				res.harmfulFreq[pi][ri] += credit
 			}
 		}
-	}
+	})
 	// Misclassified with insufficient coverage → record the true-class rules
 	// that fired without training support, to guide data collection.
 	if !correct && totalRelated < t.cfg.Delta {
-		for _, ri := range trueSide.Indices() {
+		trueSide.ForEach(func(ri int) {
 			res.uncoveredRuleFreq[ri] += weights[ri]
-		}
+		})
 	}
-}
-
-// candidateSets computes, per pattern group, a pruned candidate list of
-// training indices using Max-Miner frequent rule subsets: patterns are
-// clustered by shared frequent rule subsets, and for each cluster only
-// training instances overlapping the cluster's activation union enough to
-// possibly pass Eq. 4 are kept. The filter is sound (a superset of the true
-// related set); the exact per-instance check still runs afterwards. Returns
-// nil when grouping is disabled.
-func (t *Tracer) candidateSets(order []*patternGroup, sideActs []*bitset.Set, pred []int) [][]int {
-	if !t.cfg.Grouping {
-		return nil
-	}
-	reps := make([]*bitset.Set, len(order))
-	for gi, g := range order {
-		reps[gi] = sideActs[g.rep]
-	}
-	minSup := int(t.cfg.GroupMinSupport * float64(len(reps)))
-	if minSup < 2 {
-		minSup = 2
-	}
-	miner := fpm.NewMinerFromSets(reps, t.rs.Width())
-	maximal := miner.MaximalFrequent(minSup)
-	cluster := fpm.GroupByMaximal(reps, maximal)
-
-	weights := t.rs.Weights()
-	type cl struct {
-		union *bitset.Set
-		minW  float64
-		gids  []int
-	}
-	clusters := map[int]*cl{}
-	for gi := range order {
-		ci := cluster[gi]
-		c, ok := clusters[ci]
-		if !ok {
-			c = &cl{union: bitset.New(t.rs.Width()), minW: -1}
-			clusters[ci] = c
-		}
-		c.union.Or(reps[gi])
-		w := reps[gi].WeightedCount(weights)
-		if c.minW < 0 || w < c.minW {
-			c.minW = w
-		}
-		c.gids = append(c.gids, gi)
-	}
-
-	out := make([][]int, len(order))
-	for _, c := range clusters {
-		// A training instance related to member te must overlap act(te) by
-		// >= tauW*weight(te) >= tauW*minW, and act(te) ⊆ union, so its
-		// overlap with the union is at least that much too.
-		need := t.cfg.TauW*c.minW - 1e-12
-		var keep [2][]int
-		for label := 0; label < 2; label++ {
-			for _, j := range t.trainByLabel[label] {
-				if t.trainActs[j].WeightedIntersect(c.union, weights) >= need {
-					keep[label] = append(keep[label], j)
-				}
-			}
-		}
-		for _, gi := range c.gids {
-			out[gi] = keep[pred[order[gi].rep]]
-		}
-	}
-	return out
 }
 
 func newFreqMaps(n int) []map[int]float64 {

@@ -112,7 +112,12 @@ func Train(t *Table, enc *dataset.Encoder, cfg nn.Config) (*Model, error) {
 
 // Predict returns the argmax class of the K binarized vote scores.
 func (m *Model) Predict(values []float64) int {
-	x := m.enc.Encode(dataset.Instance{Values: values}, nil)
+	return m.predictEncoded(m.enc.Encode(dataset.Instance{Values: values}, nil))
+}
+
+// predictEncoded is Predict on an already-encoded feature vector, letting
+// hot paths encode each instance exactly once.
+func (m *Model) predictEncoded(x []float64) int {
 	best, bestScore := 0, m.models[0].Score(x)
 	for k := 1; k < len(m.models); k++ {
 		if s := m.models[k].Score(x); s > bestScore {
@@ -200,11 +205,13 @@ func (e *Estimator) Trace(test *Table) *Result {
 		Truth:           make([]int, test.Len()),
 		Counts:          make([][]int, test.Len()),
 	}
+	var x []float64
 	for te, in := range test.Instances {
-		pred := e.model.Predict(in.Values)
+		// Encode once per instance; prediction and tracing share the vector.
+		x = e.model.enc.Encode(dataset.Instance{Values: in.Values}, x)
+		pred := e.model.predictEncoded(x)
 		res.Pred[te] = pred
 		res.Truth[te] = in.Class
-		x := e.model.enc.Encode(dataset.Instance{Values: in.Values}, nil)
 		set := e.model.sets[pred]
 		side := set.Activations(x).And(set.ClassMask(1))
 		res.Counts[te] = e.tracers[pred].TraceActivations(side, 1)

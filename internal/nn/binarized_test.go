@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyBinarizedMatchesForward proves the compiled evaluator is
+// bit-identical to the model's discrete forward pass on {0,1} inputs:
+// same scores, same rule-activation vectors, across random architectures,
+// random (trained) weights and random inputs.
+func TestPropertyBinarizedMatchesForward(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 4 + r.Intn(12)
+		xs, ys := goldenData(40+r.Intn(40), dim, r.Int63())
+		cfg := Config{
+			Hidden:    []int{4 + 2*r.Intn(4)},
+			Epochs:    1 + r.Intn(2),
+			BatchSize: 16,
+			Grafting:  r.Intn(2) == 1,
+			Seed:      r.Int63(),
+			Workers:   1 + r.Intn(4),
+		}
+		if r.Intn(2) == 1 {
+			cfg.Hidden = append(cfg.Hidden, 4+2*r.Intn(3))
+		}
+		m, err := New(dim, cfg)
+		if err != nil {
+			panic(err)
+		}
+		m.Train(xs, ys)
+		b := m.Binarize()
+
+		wantScores, wantActs := m.ScoreAndActivationsBatch(xs)
+		gotScores, gotActs := b.ScoreAndActivationsBatch(xs)
+		for i := range xs {
+			if gotScores[i] != wantScores[i] {
+				return false
+			}
+			for j := range wantActs[i] {
+				if gotActs[i][j] != wantActs[i][j] {
+					return false
+				}
+			}
+			// Single-instance paths must agree too.
+			if b.Score(xs[i]) != m.Score(xs[i]) {
+				return false
+			}
+			one := b.RuleActivations(xs[i], nil)
+			ref := m.RuleActivations(xs[i], nil)
+			for j := range ref {
+				if one[j] != ref[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinarizedSnapshot pins the snapshot semantics: training the model
+// after Binarize must not change the compiled evaluator's outputs.
+func TestBinarizedSnapshot(t *testing.T) {
+	xs, ys := goldenData(80, 12, 7)
+	m, err := New(12, Config{Hidden: []int{8}, Epochs: 1, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Train(xs, ys)
+	b := m.Binarize()
+	before := make([]float64, len(xs))
+	for i, x := range xs {
+		before[i] = b.Score(x)
+	}
+	m.Train(xs, ys) // keep training the model
+	for i, x := range xs {
+		if b.Score(x) != before[i] {
+			t.Fatalf("snapshot drifted at row %d", i)
+		}
+	}
+}

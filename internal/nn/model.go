@@ -17,11 +17,18 @@
 // positive act as positive rules r+, negative head weights as negative rules
 // r-, and the model predicts the positive class iff the weighted vote
 // crosses the bias threshold.
+//
+// Parameter storage is one contiguous flat vector (see Model.flat): each
+// logical layer's weights occupy a row-major block, followed by the head
+// weights and the head bias. Training updates the flat vector in place, so
+// Params/SetParams are single copies and the Adam step streams sequentially
+// through memory.
 package nn
 
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Config controls model shape and training.
@@ -86,16 +93,25 @@ const (
 	nodeDisj
 )
 
-// logicalLayer holds one layer's continuous weights. weights[n][i] is the
-// involvement degree of input i in node n, constrained to [0,1].
+// logicalLayer describes one layer's shape and where its weight block lives
+// in the model's flat parameter vector. w[n*inDim+i] is the involvement
+// degree of input i in node n, constrained to [0,1].
 type logicalLayer struct {
 	inDim   int
 	numConj int
 	numDisj int
-	weights [][]float64
+	// off is the flat-vector offset of this layer's weight block; w is the
+	// block itself, aliasing Model.flat[off : off+size()*inDim].
+	off int
+	w   []float64
 }
 
 func (l *logicalLayer) size() int { return l.numConj + l.numDisj }
+
+// row returns node n's weight row (a view into the flat vector).
+func (l *logicalLayer) row(n int) []float64 {
+	return l.w[n*l.inDim : (n+1)*l.inDim]
+}
 
 // nodeKind reports whether node n is a conjunction or disjunction node.
 func (l *logicalLayer) nodeKind(n int) int {
@@ -113,13 +129,30 @@ type Model struct {
 	// ruleDim is the total number of logical nodes across layers = the
 	// number of candidate rules.
 	ruleDim int
-	// headW and headB form the linear voting head over rule activations.
-	// These stay continuous (the paper binarizes every layer except the one
-	// feeding the linear classifier).
+	// flat holds every trainable parameter contiguously: the layers' weight
+	// blocks in order (row-major per node), then the head weights over rule
+	// activations, then the head bias. layers[k].w and headW alias into it.
+	flat []float64
+	// headOff is the flat offset of the head weights; the bias sits at
+	// flat[len(flat)-1].
+	headOff int
+	// headW aliases flat[headOff : headOff+ruleDim]. The head stays
+	// continuous (the paper binarizes every layer except the one feeding the
+	// linear classifier).
 	headW []float64
-	headB float64
 
 	opt *adamState
+
+	// disc is the per-batch compilation of the binarized structure used by
+	// the grafted discrete forward pass; see compileDiscrete. Rebuilt at the
+	// start of every batch (weights are fixed within one), storage reused.
+	disc discSnap
+
+	// bufPool and gradPool recycle forward/backprop scratch buffers across
+	// calls, so steady-state batch work allocates nothing. Buffers depend
+	// only on the (immutable) model shape, so pooled entries never go stale.
+	bufPool  sync.Pool
+	gradPool sync.Pool
 }
 
 // New creates a model for inputs of width inDim using cfg.
@@ -134,31 +167,43 @@ func New(inDim int, cfg Config) (*Model, error) {
 		}
 	}
 	m := &Model{cfg: cfg, inDim: inDim}
-	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Shape pass: compute layer offsets and the total parameter count, then
+	// carve the flat vector into per-layer views.
+	total := 0
 	prev := inDim
 	for _, h := range cfg.Hidden {
-		l := &logicalLayer{inDim: prev, numConj: h / 2, numDisj: h - h/2}
-		l.weights = make([][]float64, h)
-		for n := range l.weights {
-			w := make([]float64, prev)
+		l := &logicalLayer{inDim: prev, numConj: h / 2, numDisj: h - h/2, off: total}
+		m.layers = append(m.layers, l)
+		total += h * prev
+		m.ruleDim += h
+		// Skip connection: the next layer sees the original predicates too.
+		prev = inDim + h
+	}
+	m.headOff = total
+	total += m.ruleDim + 1 // head weights + bias
+	m.flat = make([]float64, total)
+	for _, l := range m.layers {
+		l.w = m.flat[l.off : l.off+l.size()*l.inDim]
+	}
+	m.headW = m.flat[m.headOff : m.headOff+m.ruleDim]
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	for _, l := range m.layers {
+		for n := 0; n < l.size(); n++ {
+			w := l.row(n)
 			for i := range w {
 				// Small positive init keeps soft products near their neutral
 				// element so early gradients do not vanish; a few weights are
 				// seeded above the 0.5 binarization threshold so the grafted
 				// (discrete) model is non-constant from the start.
 				w[i] = r.Float64() * 0.2
-				if r.Float64() < 2.0/float64(prev) {
+				if r.Float64() < 2.0/float64(l.inDim) {
 					w[i] = 0.5 + r.Float64()*0.3
 				}
 			}
-			l.weights[n] = w
 		}
-		m.layers = append(m.layers, l)
-		m.ruleDim += h
-		// Skip connection: the next layer sees the original predicates too.
-		prev = inDim + h
 	}
-	m.headW = make([]float64, m.ruleDim)
 	for i := range m.headW {
 		m.headW[i] = (r.Float64() - 0.5) * 0.2
 	}
@@ -180,7 +225,7 @@ func (m *Model) Config() Config { return m.cfg }
 func (m *Model) HeadWeights() []float64 { return m.headW }
 
 // HeadBias returns the linear head bias.
-func (m *Model) HeadBias() float64 { return m.headB }
+func (m *Model) HeadBias() float64 { return m.flat[len(m.flat)-1] }
 
 // fwdBuffers holds per-sample forward activations reused across calls.
 type fwdBuffers struct {
@@ -202,6 +247,16 @@ func (m *Model) newBuffers() *fwdBuffers {
 	return b
 }
 
+// getBuffers returns pooled forward buffers; release with putBuffers.
+func (m *Model) getBuffers() *fwdBuffers {
+	if b, ok := m.bufPool.Get().(*fwdBuffers); ok {
+		return b
+	}
+	return m.newBuffers()
+}
+
+func (m *Model) putBuffers(b *fwdBuffers) { m.bufPool.Put(b) }
+
 // forward computes the score of x. When discrete is true the logical
 // weights are binarized at 0.5 (the deployed model); otherwise the soft
 // continuous activations of Eq. 7 are used. Returns the pre-sigmoid score.
@@ -211,16 +266,20 @@ func (m *Model) forward(x []float64, discrete bool, b *fwdBuffers) float64 {
 	}
 	ri := 0
 	for k, l := range m.layers {
-		in := b.layerIn[k]
+		var in []float64
 		if k == 0 {
-			copy(in, x)
+			// Alias the caller's input instead of copying: the buffer entry is
+			// only ever read (backprop partials), never written through.
+			in = x
+			b.layerIn[0] = x
 		} else {
+			in = b.layerIn[k]
 			copy(in, x)
 			copy(in[m.inDim:], b.layerOut[k-1])
 		}
 		out := b.layerOut[k]
 		for n := 0; n < l.size(); n++ {
-			w := l.weights[n]
+			w := l.row(n)
 			if l.nodeKind(n) == nodeConj {
 				out[n] = conjForward(in, w, discrete)
 			} else {
@@ -230,44 +289,141 @@ func (m *Model) forward(x []float64, discrete bool, b *fwdBuffers) float64 {
 		copy(b.rules[ri:ri+l.size()], out)
 		ri += l.size()
 	}
-	s := m.headB
+	s := m.flat[len(m.flat)-1]
 	for j, r := range b.rules {
 		s += m.headW[j] * r
 	}
 	return s
 }
 
-// conjForward computes Conj(x,w) = prod_i (1 - w_i (1 - x_i)).
+// discSnap is a compiled snapshot of the binarized network structure: per
+// logical node, the input indices its weight selects (w > 0.5), concatenated
+// into one slab. The grafted discrete forward walks only these indices
+// instead of scanning every weight for every sample — identical multiply /
+// early-exit order to conjForward/disjForward's discrete loops (which also
+// touch only selected elements), so the scores are bit-identical.
+type discSnap struct {
+	sel []int32 // concatenated selected indices, per node
+	off []int32 // node -> [off[n], off[n+1]) into sel; len = ruleDim+1
+}
+
+// compileDiscrete rebuilds the discrete snapshot from the current weights.
+// Called once per batch by batchGrad; amortizes the full weight scan over
+// every sample of the batch. Steady-state it allocates nothing (the slab is
+// reused and only regrows while binarization is still selecting new weights).
+func (m *Model) compileDiscrete() {
+	d := &m.disc
+	d.sel = d.sel[:0]
+	if d.off == nil {
+		d.off = make([]int32, m.ruleDim+1)
+	}
+	ni := 0
+	for _, l := range m.layers {
+		for n := 0; n < l.size(); n++ {
+			for i, w := range l.row(n) {
+				if w > 0.5 {
+					d.sel = append(d.sel, int32(i))
+				}
+			}
+			ni++
+			d.off[ni] = int32(len(d.sel))
+		}
+	}
+}
+
+// forwardDiscrete computes forward(x, true, b) using the compiled snapshot.
+// The per-node products run over the same selected indices in the same
+// ascending order as the discrete conjForward/disjForward loops, with the
+// same early exits, so every output bit matches.
+func (m *Model) forwardDiscrete(x []float64, b *fwdBuffers) float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), m.inDim))
+	}
+	d := &m.disc
+	ni := 0
+	ri := 0
+	for k, l := range m.layers {
+		var in []float64
+		if k == 0 {
+			in = x
+			b.layerIn[0] = x
+		} else {
+			in = b.layerIn[k]
+			copy(in, x)
+			copy(in[m.inDim:], b.layerOut[k-1])
+		}
+		out := b.layerOut[k]
+		for n := 0; n < l.size(); n++ {
+			sel := d.sel[d.off[ni]:d.off[ni+1]]
+			ni++
+			if l.nodeKind(n) == nodeConj {
+				p := 1.0
+				for _, i := range sel {
+					p *= in[i]
+					if p == 0 {
+						p = 0 // conjForward returns literal 0 (+0.0) here
+						break
+					}
+				}
+				out[n] = p
+			} else {
+				v := 0.0
+				for _, i := range sel {
+					if in[i] > 0 {
+						v = 1
+						break
+					}
+				}
+				out[n] = v
+			}
+		}
+		copy(b.rules[ri:ri+l.size()], out)
+		ri += l.size()
+	}
+	s := m.flat[len(m.flat)-1]
+	for j, r := range b.rules {
+		s += m.headW[j] * r
+	}
+	return s
+}
+
+// conjForward computes Conj(x,w) = prod_i (1 - w_i (1 - x_i)). The discrete
+// and continuous loops are split so the mode test is hoisted out of the hot
+// loop; the continuous body stays branch-free (data-dependent skips
+// mispredict on real data and cost more than the multiply they save).
 func conjForward(x, w []float64, discrete bool) float64 {
 	p := 1.0
-	for i, xi := range x {
-		wi := w[i]
-		if discrete {
-			if wi > 0.5 {
+	if discrete {
+		for i, xi := range x {
+			if w[i] > 0.5 {
 				p *= xi
+				if p == 0 {
+					return 0
+				}
 			}
-			if p == 0 {
-				return 0
-			}
-			continue
 		}
-		p *= 1 - wi*(1-xi)
+		return p
+	}
+	for i, xi := range x {
+		p *= 1 - w[i]*(1-xi)
 	}
 	return p
 }
 
-// disjForward computes Disj(x,w) = 1 - prod_i (1 - x_i w_i).
+// disjForward computes Disj(x,w) = 1 - prod_i (1 - x_i w_i); loop split as
+// in conjForward.
 func disjForward(x, w []float64, discrete bool) float64 {
 	p := 1.0
-	for i, xi := range x {
-		wi := w[i]
-		if discrete {
-			if wi > 0.5 && xi > 0 {
+	if discrete {
+		for i, xi := range x {
+			if w[i] > 0.5 && xi > 0 {
 				return 1
 			}
-			continue
 		}
-		p *= 1 - xi*wi
+		return 1 - p
+	}
+	for i, xi := range x {
+		p *= 1 - xi*w[i]
 	}
 	return 1 - p
 }
@@ -275,7 +431,10 @@ func disjForward(x, w []float64, discrete bool) float64 {
 // Score returns the deployed (binarized) model's pre-threshold score for x:
 // positive score means the positive class wins the rule vote of Eq. 3.
 func (m *Model) Score(x []float64) float64 {
-	return m.forward(x, true, m.newBuffers())
+	b := m.getBuffers()
+	s := m.forward(x, true, b)
+	m.putBuffers(b)
+	return s
 }
 
 // Predict returns the deployed model's label for x.
@@ -289,8 +448,8 @@ func (m *Model) Predict(x []float64) int {
 // PredictBatch labels every row of xs using parallel workers.
 func (m *Model) PredictBatch(xs [][]float64) []int {
 	out := make([]int, len(xs))
-	m.parallelOver(len(xs), func(_ int, idx []int, buf *fwdBuffers) {
-		for _, i := range idx {
+	m.parallelOver(len(xs), func(lo, hi int, buf *fwdBuffers) {
+		for i := lo; i < hi; i++ {
 			if m.forward(xs[i], true, buf) >= 0 {
 				out[i] = 1
 			}
@@ -321,9 +480,10 @@ func (m *Model) RuleActivations(x []float64, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, m.ruleDim)
 	}
-	b := m.newBuffers()
+	b := m.getBuffers()
 	m.forward(x, true, b)
 	copy(dst, b.rules)
+	m.putBuffers(b)
 	return dst
 }
 
@@ -334,10 +494,13 @@ func (m *Model) RuleActivations(x []float64, dst []float64) []float64 {
 func (m *Model) ScoreAndActivationsBatch(xs [][]float64) (scores []float64, acts [][]float64) {
 	scores = make([]float64, len(xs))
 	acts = make([][]float64, len(xs))
-	m.parallelOver(len(xs), func(_ int, idx []int, buf *fwdBuffers) {
-		for _, i := range idx {
+	// One contiguous slab for all activation rows keeps the result cache
+	// friendly and cuts per-row allocations.
+	slab := make([]float64, len(xs)*m.ruleDim)
+	m.parallelOver(len(xs), func(lo, hi int, buf *fwdBuffers) {
+		for i := lo; i < hi; i++ {
 			scores[i] = m.forward(xs[i], true, buf)
-			row := make([]float64, m.ruleDim)
+			row := slab[i*m.ruleDim : (i+1)*m.ruleDim : (i+1)*m.ruleDim]
 			copy(row, buf.rules)
 			acts[i] = row
 		}
@@ -362,7 +525,7 @@ func (m *Model) RuleSpecs() []RuleSpec {
 	for k, l := range m.layers {
 		for n := 0; n < l.size(); n++ {
 			spec := RuleSpec{Layer: k, Node: n, Conj: l.nodeKind(n) == nodeConj}
-			for i, w := range l.weights[n] {
+			for i, w := range l.row(n) {
 				if w > 0.5 {
 					spec.Selected = append(spec.Selected, i)
 				}

@@ -338,7 +338,12 @@ func TestConjBackwardZeroFactorHandling(t *testing.T) {
 	w := []float64{1, 0.5, 0.5}
 	gw := make([]float64, 3)
 	gx := make([]float64, 3)
-	conjBackward(x, w, 1, gw, gx)
+	fbuf := make([]float64, 3)
+	_, prodNZ, zeros, zeroIdx := conjForwardTrain(x, w, fbuf)
+	if zeros != 1 || zeroIdx != 0 {
+		t.Fatalf("scan found zeros=%d zeroIdx=%d, want 1 at 0", zeros, zeroIdx)
+	}
+	conjBackward(x, w, 1, gw, gx, 0, fbuf, prodNZ, zeros, zeroIdx)
 	// d out / d w_0 = -(1-x0) * F1*F2 = -(1)*(1*1) = -1
 	if math.Abs(gw[0]+1) > 1e-9 {
 		t.Fatalf("gw[0] = %v, want -1", gw[0])
@@ -347,14 +352,11 @@ func TestConjBackwardZeroFactorHandling(t *testing.T) {
 	if gw[1] != 0 || gw[2] != 0 {
 		t.Fatalf("gw[1,2] = %v,%v, want 0", gw[1], gw[2])
 	}
-	// Two zero factors: every partial is zero.
-	gw2 := make([]float64, 3)
-	gx2 := make([]float64, 3)
-	conjBackward([]float64{0, 0, 1}, []float64{1, 1, 0.5}, 1, gw2, gx2)
-	for i := range gw2 {
-		if gw2[i] != 0 || gx2[i] != 0 {
-			t.Fatalf("double-zero case should produce zero grads, got %v %v", gw2, gx2)
-		}
+	// Two zero factors: every partial is zero, so backprop skips the node
+	// entirely — the scan must report the count that triggers that skip.
+	_, _, zeros2, _ := conjForwardTrain([]float64{0, 0, 1}, []float64{1, 1, 0.5}, fbuf)
+	if zeros2 != 2 {
+		t.Fatalf("double-zero case: scan found %d zero factors, want 2", zeros2)
 	}
 }
 
@@ -364,7 +366,9 @@ func TestDisjBackwardZeroFactorHandling(t *testing.T) {
 	w := []float64{1, 0.5, 0.25}
 	gw := make([]float64, 3)
 	gx := make([]float64, 3)
-	disjBackward(x, w, 1, gw, gx)
+	fbuf := make([]float64, 3)
+	_, prodNZ, zeros, zeroIdx := disjForwardTrain(x, w, fbuf)
+	disjBackward(x, w, 1, gw, gx, 0, fbuf, prodNZ, zeros, zeroIdx)
 	// d out/d w_0 = x0 * G1*G2 = 1 * (1)*(0.75) = 0.75
 	if math.Abs(gw[0]-0.75) > 1e-9 {
 		t.Fatalf("gw[0] = %v, want 0.75", gw[0])

@@ -24,59 +24,24 @@ const (
 	adamEps   = 1e-8
 )
 
-// step applies one Adam update of grad to params in place.
-func (a *adamState) step(params, grad []float64, lr float64) {
-	a.t++
-	bc1 := 1 - math.Pow(adamBeta1, float64(a.t))
-	bc2 := 1 - math.Pow(adamBeta2, float64(a.t))
-	for i, g := range grad {
-		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
-		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
-		mhat := a.m[i] / bc1
-		vhat := a.v[i] / bc2
-		params[i] -= lr * mhat / (math.Sqrt(vhat) + adamEps)
-	}
-}
-
 // numParams returns the flattened parameter count.
-func (m *Model) numParams() int {
-	n := 0
-	for _, l := range m.layers {
-		n += l.size() * l.inDim
-	}
-	return n + m.ruleDim + 1
-}
+func (m *Model) numParams() int { return len(m.flat) }
 
 // Params returns a flat copy of all trainable parameters (logical weights,
 // head weights, head bias), suitable for FedAvg aggregation.
 func (m *Model) Params() []float64 {
-	out := make([]float64, 0, m.numParams())
-	for _, l := range m.layers {
-		for _, w := range l.weights {
-			out = append(out, w...)
-		}
-	}
-	out = append(out, m.headW...)
-	out = append(out, m.headB)
+	out := make([]float64, len(m.flat))
+	copy(out, m.flat)
 	return out
 }
 
 // SetParams overwrites all trainable parameters from a flat vector produced
 // by Params (possibly averaged across clients).
 func (m *Model) SetParams(p []float64) error {
-	if len(p) != m.numParams() {
-		return fmt.Errorf("nn: SetParams got %d values, want %d", len(p), m.numParams())
+	if len(p) != len(m.flat) {
+		return fmt.Errorf("nn: SetParams got %d values, want %d", len(p), len(m.flat))
 	}
-	i := 0
-	for _, l := range m.layers {
-		for _, w := range l.weights {
-			copy(w, p[i:i+len(w)])
-			i += len(w)
-		}
-	}
-	copy(m.headW, p[i:i+m.ruleDim])
-	i += m.ruleDim
-	m.headB = p[i]
+	copy(m.flat, p)
 	return nil
 }
 
@@ -86,9 +51,7 @@ func (m *Model) Clone() *Model {
 	if err != nil {
 		panic(err) // m was valid, so its config is valid
 	}
-	if err := c.SetParams(m.Params()); err != nil {
-		panic(err)
-	}
+	copy(c.flat, m.flat)
 	return c
 }
 
@@ -101,6 +64,14 @@ type gradBuffers struct {
 	gOut [][]float64
 	gIn  [][]float64
 	grad []float64 // flattened, same layout as Params
+	// Factor cache filled by forwardTrain and consumed by the backward
+	// kernels, so the backward pass never recomputes a factor or rescans for
+	// zero factors. Indexed by layer (fmat, node-major rows) and by global
+	// node id (pnz/nzero/zidx).
+	fmat  [][]float64
+	pnz   []float64
+	nzero []int32
+	zidx  []int32
 }
 
 func (m *Model) newGradBuffers() *gradBuffers {
@@ -108,9 +79,23 @@ func (m *Model) newGradBuffers() *gradBuffers {
 	for _, l := range m.layers {
 		gb.gOut = append(gb.gOut, make([]float64, l.size()))
 		gb.gIn = append(gb.gIn, make([]float64, l.inDim))
+		gb.fmat = append(gb.fmat, make([]float64, l.size()*l.inDim))
 	}
+	gb.pnz = make([]float64, m.ruleDim)
+	gb.nzero = make([]int32, m.ruleDim)
+	gb.zidx = make([]int32, m.ruleDim)
 	return gb
 }
+
+// getGradBuffers returns pooled backprop scratch; release with putGradBuffers.
+func (m *Model) getGradBuffers() *gradBuffers {
+	if gb, ok := m.gradPool.Get().(*gradBuffers); ok {
+		return gb
+	}
+	return m.newGradBuffers()
+}
+
+func (m *Model) putGradBuffers(gb *gradBuffers) { m.gradPool.Put(gb) }
 
 func sigmoid(s float64) float64 {
 	if s >= 0 {
@@ -126,18 +111,20 @@ func sigmoid(s float64) float64 {
 // forward pass — the paper's gradient grafting rule
 // θ^{t+1} = θ^t − η ∂L(Ȳ)/∂Ȳ · ∂Y/∂θ^t. It returns the sample loss.
 func (m *Model) backprop(x []float64, y int, grafting bool, gb *gradBuffers) float64 {
-	// Continuous forward fills gb.fwd with the activations used for partials.
-	sCont := m.forward(x, false, gb.fwd)
+	// Continuous forward fills gb.fwd with the activations used for partials
+	// and caches every per-element factor for the backward kernels.
+	sCont := m.forwardTrain(x, gb)
 	sUsed := sCont
 	if grafting {
-		sUsed = m.forward(x, true, gb.fwdD)
+		// batchGrad compiled the discrete structure for this batch.
+		sUsed = m.forwardDiscrete(x, gb.fwdD)
 	}
 	p := sigmoid(sUsed)
 	dLds := p - float64(y)
 
 	// Head gradients (continuous rule activations are the partials).
 	// Flat layout: logical weights first, then headW, then headB.
-	headOff := m.numParams() - m.ruleDim - 1
+	headOff := m.headOff
 	for j, r := range gb.fwd.rules {
 		gb.grad[headOff+j] += dLds * r
 	}
@@ -157,33 +144,40 @@ func (m *Model) backprop(x []float64, y int, grafting bool, gb *gradBuffers) flo
 
 	// Backward through layers, last to first. Layer k's input is
 	// concat(x, layerOut[k-1]); the part flowing into layerOut[k-1] is added
-	// to that layer's gOut.
-	wOff := make([]int, len(m.layers))
-	{
-		off := 0
-		for k, l := range m.layers {
-			wOff[k] = off
-			off += l.size() * l.inDim
-		}
-	}
+	// to that layer's gOut. Layer weight offsets are fixed at construction
+	// (logicalLayer.off), so no per-call offset table is needed.
 	for k := len(m.layers) - 1; k >= 0; k-- {
 		l := m.layers[k]
 		in := gb.fwd.layerIn[k]
 		gIn := gb.gIn[k]
-		for i := range gIn {
-			gIn[i] = 0
+		// Only the skip-concat tail of the input gradient is ever read (it
+		// routes to the previous layer's outputs); the x-head — and for the
+		// first layer the whole vector — is dead, so neither zeroed nor
+		// accumulated.
+		gxFrom := len(in)
+		if k > 0 {
+			gxFrom = m.inDim
+			for i := m.inDim; i < len(gIn); i++ {
+				gIn[i] = 0
+			}
 		}
+		ni := layerNodeBase(m, k)
 		for n := 0; n < l.size(); n++ {
 			g := gb.gOut[k][n]
 			if g == 0 {
 				continue
 			}
-			w := l.weights[n]
-			base := wOff[k] + n*l.inDim
+			w := l.row(n)
+			base := l.off + n*l.inDim
+			fb := gb.fmat[k][n*l.inDim : (n+1)*l.inDim]
+			prodNZ, zeros, zeroIdx := gb.pnz[ni+n], gb.nzero[ni+n], gb.zidx[ni+n]
+			if zeros > 1 {
+				continue // every partial product contains a zero factor
+			}
 			if l.nodeKind(n) == nodeConj {
-				conjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn)
+				conjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn, gxFrom, fb, prodNZ, zeros, zeroIdx)
 			} else {
-				disjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn)
+				disjBackward(in, w, g, gb.grad[base:base+l.inDim], gIn, gxFrom, fb, prodNZ, zeros, zeroIdx)
 			}
 		}
 		if k > 0 {
@@ -204,79 +198,231 @@ func (m *Model) backprop(x []float64, y int, grafting bool, gb *gradBuffers) flo
 
 const prodZeroEps = 1e-12
 
-// conjBackward adds the conjunction node's weight and input gradients.
-// out = prod_i F_i, F_i = 1 - w_i (1 - x_i);
-// d out/d w_i = -(1-x_i) * prod_{j≠i} F_j; d out/d x_i = w_i * prod_{j≠i} F_j.
-func conjBackward(x, w []float64, g float64, gw, gx []float64) {
-	prodNZ := 1.0
-	zeros := 0
-	zeroIdx := -1
-	for i := range x {
-		f := 1 - w[i]*(1-x[i])
+// layerNodeBase returns the global node id of layer k's first node.
+func layerNodeBase(m *Model, k int) int {
+	b := 0
+	for j := 0; j < k; j++ {
+		b += m.layers[j].size()
+	}
+	return b
+}
+
+// forwardTrain is the continuous forward pass used by backprop. It computes
+// exactly the same score as forward(x, false, gb.fwd) — identical factor
+// expressions multiplied in identical order — while additionally caching,
+// per node, every factor (gb.fmat), the product of its non-near-zero
+// factors (gb.pnz) and the near-zero bookkeeping (gb.nzero/gb.zidx) the
+// backward kernels need, so the backward pass does no factor recomputation
+// or rescanning at all.
+func (m *Model) forwardTrain(x []float64, gb *gradBuffers) float64 {
+	if len(x) != m.inDim {
+		panic(fmt.Sprintf("nn: input width %d, want %d", len(x), m.inDim))
+	}
+	b := gb.fwd
+	ni := 0
+	ri := 0
+	for k, l := range m.layers {
+		var in []float64
+		if k == 0 {
+			in = x
+			b.layerIn[0] = x
+		} else {
+			in = b.layerIn[k]
+			copy(in, x)
+			copy(in[m.inDim:], b.layerOut[k-1])
+		}
+		out := b.layerOut[k]
+		fslab := gb.fmat[k]
+		for n := 0; n < l.size(); n++ {
+			w := l.row(n)
+			fb := fslab[n*l.inDim : (n+1)*l.inDim]
+			var p, prodNZ float64
+			var zeros, zeroIdx int32
+			if l.nodeKind(n) == nodeConj {
+				p, prodNZ, zeros, zeroIdx = conjForwardTrain(in, w, fb)
+			} else {
+				p, prodNZ, zeros, zeroIdx = disjForwardTrain(in, w, fb)
+				p = 1 - p
+			}
+			out[n] = p
+			gb.pnz[ni] = prodNZ
+			gb.nzero[ni] = zeros
+			gb.zidx[ni] = zeroIdx
+			ni++
+		}
+		copy(b.rules[ri:ri+l.size()], out)
+		ri += l.size()
+	}
+	s := m.flat[len(m.flat)-1]
+	for j, r := range b.rules {
+		s += m.headW[j] * r
+	}
+	return s
+}
+
+// conjForwardTrain is conjForward's continuous loop fused with the backward
+// pass's factor caching and zero-scan. p is the node output (bit-identical
+// to conjForward); prodNZ is the product of factors at least prodZeroEps in
+// magnitude (the same skip rule and multiply order the backward scan used).
+func conjForwardTrain(x, w, fbuf []float64) (p, prodNZ float64, zeros, zeroIdx int32) {
+	p = 1.0
+	prodNZ = 1.0
+	zeroIdx = -1
+	for i, xi := range x {
+		f := 1 - w[i]*(1-xi)
+		fbuf[i] = f
+		p *= f
 		if math.Abs(f) < prodZeroEps {
 			zeros++
-			zeroIdx = i
-			if zeros > 1 {
-				return // every partial product contains a zero factor
-			}
+			zeroIdx = int32(i)
 			continue
 		}
 		prodNZ *= f
 	}
-	for i := range x {
-		var partial float64
-		switch {
-		case zeros == 0:
-			f := 1 - w[i]*(1-x[i])
-			partial = prodNZ / f
-		case zeros == 1 && i == zeroIdx:
-			partial = prodNZ
-		default:
-			continue // partial product is zero
+	return
+}
+
+// disjForwardTrain mirrors conjForwardTrain for disjunction factors
+// G_i = 1 - x_i w_i. It returns the raw product p (the caller computes the
+// node output 1-p, matching disjForward bit-for-bit).
+func disjForwardTrain(x, w, fbuf []float64) (p, prodNZ float64, zeros, zeroIdx int32) {
+	p = 1.0
+	prodNZ = 1.0
+	zeroIdx = -1
+	for i, xi := range x {
+		f := 1 - xi*w[i]
+		fbuf[i] = f
+		p *= f
+		if math.Abs(f) < prodZeroEps {
+			zeros++
+			zeroIdx = int32(i)
+			continue
 		}
+		prodNZ *= f
+	}
+	return
+}
+
+// conjBackward adds the conjunction node's weight and input gradients.
+// out = prod_i F_i, F_i = 1 - w_i (1 - x_i);
+// d out/d w_i = -(1-x_i) * prod_{j≠i} F_j; d out/d x_i = w_i * prod_{j≠i} F_j.
+//
+// Input gradients are accumulated only for i >= gxFrom: the x-head of every
+// layer input is raw data whose gradient nothing reads (only the skip-concat
+// tail flows to the previous layer), and for the first layer that is the
+// whole vector. fbuf caches each factor from the zero-scan so the partials
+// loop never recomputes it.
+//
+// The factors, their non-zero product and the zero bookkeeping all come
+// precomputed from forwardTrain (fbuf/prodNZ/zeros/zeroIdx); the caller has
+// already discarded nodes with more than one zero factor. The loops stay
+// branch-free on purpose: data-dependent skips (zero terms, factor-is-1
+// divisions) mispredict on real data and cost more than the arithmetic they
+// avoid. All work removed relative to the seed is structurally dead —
+// identical float expressions in identical order otherwise, which
+// TestPropertyFusedStepMatchesReference / TestGoldenTraining pin down.
+func conjBackward(x, w []float64, g float64, gw, gx []float64, gxFrom int, fbuf []float64, prodNZ float64, zeros, zeroIdx int32) {
+	if zeros == 1 {
+		// Only the zero factor's own partial product survives.
+		i := zeroIdx
+		gw[i] += g * -(1 - x[i]) * prodNZ
+		if int(i) >= gxFrom {
+			gx[i] += g * w[i] * prodNZ
+		}
+		return
+	}
+	if gxFrom >= len(x) {
+		for i, f := range fbuf[:len(x)] {
+			partial := prodNZ / f
+			gw[i] += g * -(1 - x[i]) * partial
+		}
+		return
+	}
+	for i, f := range fbuf[:len(x)] {
+		partial := prodNZ / f
 		gw[i] += g * -(1 - x[i]) * partial
-		gx[i] += g * w[i] * partial
+		if i >= gxFrom {
+			gx[i] += g * w[i] * partial
+		}
 	}
 }
 
 // disjBackward adds the disjunction node's weight and input gradients.
 // out = 1 - prod_i G_i, G_i = 1 - x_i w_i;
 // d out/d w_i = x_i * prod_{j≠i} G_j; d out/d x_i = w_i * prod_{j≠i} G_j.
-func disjBackward(x, w []float64, g float64, gw, gx []float64) {
-	prodNZ := 1.0
-	zeros := 0
-	zeroIdx := -1
-	for i := range x {
-		f := 1 - x[i]*w[i]
-		if math.Abs(f) < prodZeroEps {
-			zeros++
-			zeroIdx = i
-			if zeros > 1 {
-				return
-			}
-			continue
+// Same precomputed-cache contract and branch-free structure as conjBackward.
+func disjBackward(x, w []float64, g float64, gw, gx []float64, gxFrom int, fbuf []float64, prodNZ float64, zeros, zeroIdx int32) {
+	if zeros == 1 {
+		i := zeroIdx
+		gw[i] += g * x[i] * prodNZ
+		if int(i) >= gxFrom {
+			gx[i] += g * w[i] * prodNZ
 		}
-		prodNZ *= f
+		return
 	}
-	for i := range x {
-		var partial float64
-		switch {
-		case zeros == 0:
-			f := 1 - x[i]*w[i]
-			partial = prodNZ / f
-		case zeros == 1 && i == zeroIdx:
-			partial = prodNZ
-		default:
-			continue
+	if gxFrom >= len(x) {
+		for i, f := range fbuf[:len(x)] {
+			partial := prodNZ / f
+			gw[i] += g * x[i] * partial
 		}
+		return
+	}
+	for i, f := range fbuf[:len(x)] {
+		partial := prodNZ / f
 		gw[i] += g * x[i] * partial
-		gx[i] += g * w[i] * partial
+		if i >= gxFrom {
+			gx[i] += g * w[i] * partial
+		}
+	}
+}
+
+// stepFused applies, in one sequential pass over the flat parameter vector:
+// the L1/L2 regularization subgradients, one Adam update, and the [0,1]
+// domain clamp of the logical weights, writing directly into the model's
+// parameter storage. It is arithmetically element-for-element identical to
+// the unfused regularize → Adam → clamp-and-copy sequence it replaced
+// (each element's update chain is unchanged; only the loop structure fused),
+// which TestGoldenTraining pins down bit-for-bit.
+func (m *Model) stepFused(grad []float64) {
+	a := m.opt
+	a.t++
+	bc1 := 1 - math.Pow(adamBeta1, float64(a.t))
+	bc2 := 1 - math.Pow(adamBeta2, float64(a.t))
+	lr := m.cfg.LearningRate
+	l1, l2 := m.cfg.L1Logic, m.cfg.L2Head
+	flat := m.flat
+	headOff := m.headOff
+	last := len(flat) - 1
+	for i, g := range grad {
+		logical := i < headOff
+		if logical {
+			if l1 != 0 && flat[i] > 0 {
+				g += l1
+			}
+		} else if i < last && l2 != 0 {
+			g += l2 * flat[i]
+		}
+		a.m[i] = adamBeta1*a.m[i] + (1-adamBeta1)*g
+		a.v[i] = adamBeta2*a.v[i] + (1-adamBeta2)*g*g
+		mhat := a.m[i] / bc1
+		vhat := a.v[i] / bc2
+		v := flat[i] - lr*mhat/(math.Sqrt(vhat)+adamEps)
+		if logical {
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+		}
+		flat[i] = v
 	}
 }
 
 // TrainEpochs runs mini-batch training for the given number of epochs and
 // returns the mean loss of the final epoch. It is the building block both
-// for standalone training (Train) and for FedAvg local updates.
+// for standalone training (Train) and for FedAvg local updates. Parameters
+// are updated in place in the flat vector; per-batch work reuses pooled
+// scratch and allocates nothing in steady state.
 func (m *Model) TrainEpochs(xs [][]float64, ys []int, epochs int) float64 {
 	if len(xs) != len(ys) {
 		panic(fmt.Sprintf("nn: %d inputs vs %d labels", len(xs), len(ys)))
@@ -285,13 +431,13 @@ func (m *Model) TrainEpochs(xs [][]float64, ys []int, epochs int) float64 {
 		return 0
 	}
 	r := rand.New(rand.NewSource(m.cfg.Seed + int64(m.opt.t) + 1))
-	params := m.Params()
-	grad := make([]float64, len(params))
+	grad := make([]float64, m.numParams())
 	workers := m.workerCount()
 	gbs := make([]*gradBuffers, workers)
 	for i := range gbs {
-		gbs[i] = m.newGradBuffers()
+		gbs[i] = m.getGradBuffers()
 	}
+	losses := make([]float64, workers)
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
@@ -309,11 +455,9 @@ func (m *Model) TrainEpochs(xs [][]float64, ys []int, epochs int) float64 {
 				end = len(idx)
 			}
 			batch := idx[start:end]
-			loss := m.batchGrad(xs, ys, batch, gbs, grad)
+			loss := m.batchGrad(xs, ys, batch, gbs, losses, grad)
 			epochLoss += loss * float64(len(batch))
-			m.regularize(params, grad)
-			m.opt.step(params, grad, m.cfg.LearningRate)
-			m.applyParams(params)
+			m.stepFused(grad)
 		}
 		lastLoss = epochLoss / float64(len(idx))
 		if m.cfg.KeepBest {
@@ -324,7 +468,10 @@ func (m *Model) TrainEpochs(xs [][]float64, ys []int, epochs int) float64 {
 		}
 	}
 	if bestParams != nil {
-		m.applyParams(bestParams)
+		copy(m.flat, bestParams)
+	}
+	for _, gb := range gbs {
+		m.putGradBuffers(gb)
 	}
 	return lastLoss
 }
@@ -335,23 +482,44 @@ func (m *Model) Train(xs [][]float64, ys []int) float64 {
 }
 
 // batchGrad computes the mean gradient over batch into grad (overwritten)
-// and returns the mean loss.
-func (m *Model) batchGrad(xs [][]float64, ys []int, batch []int, gbs []*gradBuffers, grad []float64) float64 {
+// and returns the mean loss. losses must have at least len(gbs) entries.
+func (m *Model) batchGrad(xs [][]float64, ys []int, batch []int, gbs []*gradBuffers, losses []float64, grad []float64) float64 {
 	workers := len(gbs)
 	if workers > len(batch) {
 		workers = len(batch)
 	}
-	losses := make([]float64, workers)
+	inv := 1 / float64(len(batch))
+	if m.cfg.Grafting {
+		m.compileDiscrete() // weights are fixed for the whole batch
+	}
+
+	if workers <= 1 {
+		// Inline fast path: small batches (and Workers=1 configs) skip the
+		// goroutine machinery entirely.
+		gb := gbs[0]
+		for i := range gb.grad {
+			gb.grad[i] = 0
+		}
+		sum := 0.0
+		for _, s := range batch {
+			sum += m.backprop(xs[s], ys[s], m.cfg.Grafting, gb)
+		}
+		for i, g := range gb.grad {
+			grad[i] = g * inv
+		}
+		return sum * inv
+	}
+
 	var wg sync.WaitGroup
 	chunk := (len(batch) + workers - 1) / workers
-	for wkr := 0; wkr < workers; wkr++ {
+	// Ceil-chunking can leave trailing workers with empty ranges; they
+	// neither run nor zero their scratch, so reduce over active ones only.
+	active := (len(batch) + chunk - 1) / chunk
+	for wkr := 0; wkr < active; wkr++ {
 		lo := wkr * chunk
 		hi := lo + chunk
 		if hi > len(batch) {
 			hi = len(batch)
-		}
-		if lo >= hi {
-			continue
 		}
 		wg.Add(1)
 		go func(wkr, lo, hi int) {
@@ -369,66 +537,18 @@ func (m *Model) batchGrad(xs [][]float64, ys []int, batch []int, gbs []*gradBuff
 	}
 	wg.Wait()
 
-	inv := 1 / float64(len(batch))
 	for i := range grad {
 		g := 0.0
-		for wkr := 0; wkr < workers; wkr++ {
+		for wkr := 0; wkr < active; wkr++ {
 			g += gbs[wkr].grad[i]
 		}
 		grad[i] = g * inv
 	}
 	total := 0.0
-	for _, l := range losses {
-		total += l
+	for wkr := 0; wkr < active; wkr++ {
+		total += losses[wkr]
 	}
 	return total * inv
-}
-
-// regularize adds L1 decay on the logical weights (which live in [0,1], so
-// the subgradient is simply +L1Logic wherever the weight is positive) and L2
-// decay on the head weights.
-func (m *Model) regularize(params, grad []float64) {
-	if m.cfg.L1Logic == 0 && m.cfg.L2Head == 0 {
-		return
-	}
-	headOff := m.numParams() - m.ruleDim - 1
-	if m.cfg.L1Logic != 0 {
-		for i := 0; i < headOff; i++ {
-			if params[i] > 0 {
-				grad[i] += m.cfg.L1Logic
-			}
-		}
-	}
-	if m.cfg.L2Head != 0 {
-		for i := headOff; i < headOff+m.ruleDim; i++ {
-			grad[i] += m.cfg.L2Head * params[i]
-		}
-	}
-}
-
-// applyParams writes params back into the model, clamping logical weights to
-// their [0,1] domain (the head stays unconstrained).
-func (m *Model) applyParams(params []float64) {
-	i := 0
-	for _, l := range m.layers {
-		for _, w := range l.weights {
-			for j := range w {
-				v := params[i]
-				if v < 0 {
-					v = 0
-					params[i] = 0
-				} else if v > 1 {
-					v = 1
-					params[i] = 1
-				}
-				w[j] = v
-				i++
-			}
-		}
-	}
-	copy(m.headW, params[i:i+m.ruleDim])
-	i += m.ruleDim
-	m.headB = params[i]
 }
 
 func (m *Model) workerCount() int {
@@ -442,21 +562,20 @@ func (m *Model) workerCount() int {
 	return n
 }
 
-// parallelOver splits n items across workers, giving each worker its own
-// forward buffers, and calls fn with the worker id and its index chunk.
-func (m *Model) parallelOver(n int, fn func(worker int, idx []int, buf *fwdBuffers)) {
+// parallelOver splits n items across workers, giving each worker pooled
+// forward buffers, and calls fn with the worker's half-open index range.
+func (m *Model) parallelOver(n int, fn func(lo, hi int, buf *fwdBuffers)) {
+	if n == 0 {
+		return
+	}
 	workers := m.workerCount()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		if n > 0 {
-			fn(0, idx, m.newBuffers())
-		}
+		buf := m.getBuffers()
+		fn(0, n, buf)
+		m.putBuffers(buf)
 		return
 	}
 	var wg sync.WaitGroup
@@ -471,14 +590,12 @@ func (m *Model) parallelOver(n int, fn func(worker int, idx []int, buf *fwdBuffe
 			continue
 		}
 		wg.Add(1)
-		go func(wkr, lo, hi int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			idx := make([]int, hi-lo)
-			for i := range idx {
-				idx[i] = lo + i
-			}
-			fn(wkr, idx, m.newBuffers())
-		}(wkr, lo, hi)
+			buf := m.getBuffers()
+			fn(lo, hi, buf)
+			m.putBuffers(buf)
+		}(lo, hi)
 	}
 	wg.Wait()
 }

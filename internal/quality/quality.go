@@ -72,14 +72,17 @@ func Assess(res *core.Result, uploads []core.TrainingUpload, weights []float64, 
 	// Contradiction estimate: weighted vote of the instance's activations
 	// against its own label.
 	contra := make([]int, n)
+	var scratch *bitset.Set
 	for _, u := range uploads {
 		own := posMask
 		other := negMask
 		if u.Label == 0 {
 			own, other = negMask, posMask
 		}
-		ownW := u.Activations.Clone().And(own).WeightedCount(weights)
-		otherW := u.Activations.Clone().And(other).WeightedCount(weights)
+		scratch = u.Activations.AndInto(own, scratch)
+		ownW := scratch.WeightedCount(weights)
+		scratch = u.Activations.AndInto(other, scratch)
+		otherW := scratch.WeightedCount(weights)
 		if otherW > ownW {
 			contra[u.Owner]++
 		}

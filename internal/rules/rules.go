@@ -44,7 +44,12 @@ type Rule struct {
 // vectors for data instances.
 type Set struct {
 	model *nn.Model
-	enc   *dataset.Encoder
+	// bin is the compiled binarized evaluator — the model's discrete
+	// structure snapshot taken at extraction time. All activation
+	// computation goes through it (bit-identical to the model's discrete
+	// forward pass, far cheaper).
+	bin *nn.Binarized
+	enc *dataset.Encoder
 	// Rules lists the live (non-degenerate, non-zero-weight) rules.
 	Rules []Rule
 	// width is the model's full rule vector size; activation sets use it.
@@ -70,6 +75,7 @@ func Extract(m *nn.Model, enc *dataset.Encoder) *Set {
 	head := m.HeadWeights()
 	s := &Set{
 		model:   m,
+		bin:     m.Binarize(),
 		enc:     enc,
 		width:   m.RuleDim(),
 		posMask: bitset.New(m.RuleDim()),
@@ -167,7 +173,7 @@ func (s *Set) Encoder() *dataset.Encoder { return s.enc }
 // Activations returns the binarized rule-activation bitset for the encoded
 // input x (full vector; use ClassMask to restrict to one class side).
 func (s *Set) Activations(x []float64) *bitset.Set {
-	act := s.model.RuleActivations(x, nil)
+	act := s.bin.RuleActivations(x, nil)
 	b := bitset.New(s.width)
 	for i, v := range act {
 		if v >= 0.5 {
@@ -182,7 +188,7 @@ func (s *Set) Activations(x []float64) *bitset.Set {
 // predicted labels (used by the tracer to classify TP/TN/FP/FN cases).
 func (s *Set) ActivationsTable(t *dataset.Table) (acts []*bitset.Set, pred []int) {
 	xs, _ := s.enc.EncodeTable(t)
-	scores, rows := s.model.ScoreAndActivationsBatch(xs)
+	scores, rows := s.bin.ScoreAndActivationsBatch(xs)
 	acts = make([]*bitset.Set, len(xs))
 	pred = make([]int, len(xs))
 	for i := range xs {

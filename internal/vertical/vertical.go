@@ -24,6 +24,7 @@ package vertical
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/rules"
 )
@@ -162,19 +163,20 @@ func (e *Estimator) Trace(test *dataset.Table) *Result {
 	acts, pred := e.rs.ActivationsTable(test)
 	weights := e.rs.Weights()
 	inv := 1 / float64(max(1, test.Len()))
+	var side *bitset.Set
 	for te, in := range test.Instances {
 		correct := pred[te] == in.Label
 		res.Correct[te] = correct
-		side := acts[te].Clone().And(e.rs.ClassMask(pred[te]))
+		side = acts[te].AndInto(e.rs.ClassMask(pred[te]), side)
 		totalW := side.WeightedCount(weights)
 		if totalW == 0 {
 			res.Uncovered++
 			continue
 		}
-		for _, ri := range side.Indices() {
+		side.ForEach(func(ri int) {
 			shares, ok := e.ruleShare[ri]
 			if !ok {
-				continue
+				return
 			}
 			ruleCredit := inv * weights[ri] / totalW
 			for i, s := range shares {
@@ -184,7 +186,7 @@ func (e *Estimator) Trace(test *dataset.Table) *Result {
 					res.Blame[i] += ruleCredit * s
 				}
 			}
-		}
+		})
 	}
 	return res
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository health check: static analysis, full build, race-enabled tests
+# on the hot-path packages (plus the full suite), and a short benchmark
+# smoke run proving the benchmarks still execute. CI and pre-commit both
+# call this; README "Development" documents it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (hot paths: nn, core, bitset)"
+go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/...
+
+echo "== go test ./... (full suite)"
+go test ./...
+
+echo "== bench smoke (1 iteration per hot-path benchmark)"
+go test -run=NONE -bench='BenchmarkTraceIndexed|BenchmarkTrainEpochs' -benchtime=1x \
+    ./internal/core/ ./internal/nn/
+
+echo "OK: all checks passed"
