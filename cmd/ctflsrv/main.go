@@ -2,22 +2,37 @@
 //
 // Usage:
 //
-//	ctflsrv [-addr :8080]
+//	ctflsrv [-addr :8080] [-data-dir /var/lib/ctflsrv] [-workers 4]
+//	        [-queue 64] [-job-timeout 2m] [-max-body 67108864]
+//	        [-compact-bytes 8388608] [-no-sync]
+//
+// With -data-dir set, every accepted lifecycle mutation is write-ahead
+// logged and the full federation state is recovered on restart; without it
+// the service is in-memory. SIGINT/SIGTERM trigger a graceful drain:
+// in-flight HTTP requests and queued trace jobs finish, a final state
+// snapshot is written, and only then does the process exit.
 //
 // Lifecycle (see internal/server for payload formats):
 //
-//	POST /v1/encoder   publish the predicate encoding (JSON)
-//	POST /v1/model     publish the trained rule-based model (binary)
-//	POST /v1/uploads   register participant activation frames
-//	POST /v1/trace     score a reserved test set (CSV) → JSON report
-//	GET  /v1/rules     inspect the extracted rules
-//	GET  /healthz      liveness and state summary
+//	POST /v1/encoder       publish the predicate encoding (JSON)
+//	POST /v1/model         publish the trained rule-based model (binary)
+//	POST /v1/uploads       register participant activation frames
+//	POST /v1/trace         submit a test set (CSV) → async job (?wait= to block)
+//	GET  /v1/trace/{id}    poll a trace job
+//	GET  /v1/rules         inspect the extracted rules
+//	GET  /v1/stats         observability counters
+//	GET  /healthz          liveness and state summary
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
@@ -25,15 +40,66 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "persistence directory (empty = in-memory)")
+	workers := flag.Int("workers", 4, "trace worker pool size")
+	queue := flag.Int("queue", 64, "max queued trace jobs before 503")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-trace-job timeout")
+	maxBody := flag.Int64("max-body", 64<<20, "max POST body bytes before 413")
+	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL size triggering snapshot compaction")
+	noSync := flag.Bool("no-sync", false, "skip per-append WAL fsync (faster, less durable)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
 	flag.Parse()
+
+	svc, err := server.NewWithOptions(server.Options{
+		DataDir:      *dataDir,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		JobTimeout:   *jobTimeout,
+		MaxBodyBytes: *maxBody,
+		CompactBytes: *compactBytes,
+		NoSync:       *noSync,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           svc,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("ctflsrv listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if *dataDir != "" {
+			log.Printf("ctflsrv listening on %s (data dir %s)", *addr, *dataDir)
+		} else {
+			log.Printf("ctflsrv listening on %s (in-memory)", *addr)
+		}
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal behaviour: a second ^C kills hard
+		log.Printf("ctflsrv draining (max %s)...", *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ctflsrv: http shutdown: %v", err)
+		}
+		// Drain queued trace jobs and write the final snapshot.
+		if err := svc.Close(shutdownCtx); err != nil {
+			log.Printf("ctflsrv: close: %v", err)
+		} else {
+			log.Printf("ctflsrv: drained cleanly")
+		}
 	}
 }

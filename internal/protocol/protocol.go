@@ -108,6 +108,33 @@ func (u *Upload) Write(w io.Writer) error {
 	return err
 }
 
+// Encode returns the upload as one framed message, the same bytes Write
+// would emit. The server's durable store re-encodes accepted uploads into
+// this canonical form for its write-ahead log, so a replayed frame decodes
+// to exactly the state the original request produced.
+func (u *Upload) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := u.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeUpload decodes a single framed activation upload from b, rejecting
+// trailing garbage. It is the []byte counterpart of ReadUpload, used when
+// frames are stored at rest (e.g. in a WAL) rather than streamed.
+func DecodeUpload(b []byte) (*Upload, error) {
+	r := bytes.NewReader(b)
+	u, err := ReadUpload(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after frame", r.Len())
+	}
+	return u, nil
+}
+
 // ReadUpload decodes one framed activation upload from r.
 func ReadUpload(r io.Reader) (*Upload, error) {
 	header := make([]byte, 10) // magic + version + type + body length

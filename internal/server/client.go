@@ -83,15 +83,50 @@ func (c *Client) UploadActivations(up *protocol.Upload) error {
 	return c.do(http.MethodPost, "/v1/uploads", "application/octet-stream", &buf, nil)
 }
 
-// Trace scores a reserved test table at the given tracing parameters.
+// Trace scores a reserved test table at the given tracing parameters,
+// waiting synchronously for the asynchronous trace job to finish.
 func (c *Client) Trace(test *dataset.Table, tau float64, delta int) (*TraceResponse, error) {
+	job, err := c.trace(test, tau, delta, "&wait=120s")
+	if err != nil {
+		return nil, err
+	}
+	if job.Result == nil {
+		return nil, fmt.Errorf("server: trace job %s %s: %s", job.ID, job.Status, job.Error)
+	}
+	return job.Result, nil
+}
+
+// TraceAsync submits a trace job without waiting; poll with TraceJob.
+func (c *Client) TraceAsync(test *dataset.Table, tau float64, delta int) (*TraceJobResponse, error) {
+	return c.trace(test, tau, delta, "")
+}
+
+func (c *Client) trace(test *dataset.Table, tau float64, delta int, wait string) (*TraceJobResponse, error) {
 	var csv bytes.Buffer
 	if err := dataset.WriteCSV(&csv, test); err != nil {
 		return nil, err
 	}
-	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d", tau, delta)
-	var out TraceResponse
+	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d%s", tau, delta, wait)
+	var out TraceJobResponse
 	if err := c.do(http.MethodPost, path, "text/csv", &csv, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TraceJob polls one trace job's status and (when done) result.
+func (c *Client) TraceJob(id string) (*TraceJobResponse, error) {
+	var out TraceJobResponse
+	if err := c.do(http.MethodGet, "/v1/trace/"+id, "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the service's observability counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -2,62 +2,348 @@
 // as an HTTP service — the deployment shape a real data federation would
 // run. The lifecycle mirrors the paper's protocol:
 //
-//	POST /v1/encoder   the federation publishes the predicate encoding
-//	POST /v1/model     the trained global rule-based model (binary form)
-//	POST /v1/uploads   participants submit activation-vector frames
-//	POST /v1/trace     the reserved test set (CSV) → scores + audit JSON
-//	GET  /v1/rules     the extracted rule set (interpretability)
-//	GET  /healthz      liveness
+//	POST /v1/encoder       the federation publishes the predicate encoding
+//	POST /v1/model         the trained global rule-based model (binary form)
+//	POST /v1/uploads       participants submit activation-vector frames
+//	POST /v1/trace         submit a reserved test set (CSV) → trace job
+//	GET  /v1/trace/{id}    poll a trace job's status / result
+//	GET  /v1/rules         the extracted rule set (interpretability)
+//	GET  /v1/stats         observability counters (requests, jobs, store)
+//	GET  /healthz          liveness
 //
 // Raw training features never cross this API: participants send only
 // protocol frames of (label, activation bitset) records.
+//
+// Tracing is asynchronous: POST /v1/trace enqueues a job on a bounded
+// worker pool (internal/jobs) and returns 202 with a job id; `?wait=30s`
+// blocks for the result as a synchronous convenience. Identical submissions
+// against unchanged federation state are served from a content-hash cache.
+//
+// With Options.DataDir set, every accepted lifecycle mutation is logged to
+// a durable store (internal/store) before it is applied, and a restarted
+// server replays the log into exactly the pre-restart state — traces score
+// byte-for-byte identically across restarts.
+//
+// Concurrency follows a snapshot-read pattern: mutations take a short write
+// lock, traces take an even shorter read lock to capture an immutable view,
+// and all scoring compute runs lock-free on worker goroutines — uploads and
+// traces never contend on compute.
 package server
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/protocol"
 	"repro/internal/rules"
+	"repro/internal/store"
 )
 
-// Server is the federation scoring service. The zero value is not usable;
-// call New.
-type Server struct {
-	mu      sync.Mutex
-	enc     *dataset.Encoder
-	model   *nn.Model
-	rs      *rules.Set
-	uploads []core.TrainingUpload
-	// parts tracks the highest participant id seen + 1.
-	parts int
-
-	mux *http.ServeMux
+// Options tunes the service. The zero value is a fully in-memory server
+// with production-shaped defaults.
+type Options struct {
+	// DataDir enables durable persistence: lifecycle events are WAL-logged
+	// under this directory and replayed on construction. Empty = ephemeral.
+	DataDir string
+	// Workers sizes the trace worker pool (default 4).
+	Workers int
+	// QueueDepth bounds pending trace jobs (default 64); beyond it POST
+	// /v1/trace returns 503.
+	QueueDepth int
+	// JobTimeout caps one trace computation (default 2m).
+	JobTimeout time.Duration
+	// MaxBodyBytes caps any POST body (default 64 MiB); beyond it the
+	// request fails with 413.
+	MaxBodyBytes int64
+	// CompactBytes triggers WAL→snapshot compaction once the WAL exceeds
+	// this size (default 8 MiB). Only meaningful with DataDir.
+	CompactBytes int64
+	// NoSync disables the per-append WAL fsync (durability for speed).
+	NoSync bool
+	// Logf receives recovery/lifecycle diagnostics. Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// New constructs the service with its routes registered.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 2 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 8 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// state is the federation's mutable lifecycle state. Mutations replace or
+// append — existing values are never edited in place — so a consistent
+// snapshot is just a copy of this struct taken under a read lock.
+type state struct {
+	enc      *dataset.Encoder
+	encRaw   []byte // encoder JSON exactly as accepted, for snapshots
+	model    *nn.Model
+	modelRaw []byte // model bytes exactly as accepted
+	rs       *rules.Set
+	uploads  []core.TrainingUpload
+	frames   [][]byte // canonical protocol frames, one per accepted upload
+	parts    int      // highest participant id seen + 1
+	// version counts accepted mutations; trace cache keys include it so any
+	// state change invalidates prior results.
+	version uint64
+}
+
+// Server is the federation scoring service. The zero value is not usable;
+// call New or NewWithOptions.
+type Server struct {
+	opts   Options
+	mu     sync.RWMutex
+	st     state
+	store  *store.Store // nil when ephemeral
+	engine *jobs.Engine
+
+	mux      *http.ServeMux
+	requests *expvar.Map // per-route request counters
+	started  time.Time
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New constructs an ephemeral (in-memory) service with default options,
+// the configuration unit tests and examples use.
 func New() *Server {
-	s := &Server{mux: http.NewServeMux()}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/encoder", s.handleEncoder)
-	s.mux.HandleFunc("/v1/model", s.handleModel)
-	s.mux.HandleFunc("/v1/uploads", s.handleUploads)
-	s.mux.HandleFunc("/v1/trace", s.handleTrace)
-	s.mux.HandleFunc("/v1/rules", s.handleRules)
+	s, err := NewWithOptions(Options{})
+	if err != nil {
+		// Without a DataDir no construction step can fail.
+		panic(err)
+	}
 	return s
+}
+
+// NewWithOptions constructs the service, replaying durable state from
+// opts.DataDir when set.
+func NewWithOptions(opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		requests: new(expvar.Map).Init(),
+		started:  time.Now(),
+	}
+	s.engine = jobs.New(jobs.Config{
+		Workers:    opts.Workers,
+		QueueDepth: opts.QueueDepth,
+		JobTimeout: opts.JobTimeout,
+	})
+
+	if opts.DataDir != "" {
+		st, events, err := store.Open(opts.DataDir, store.Options{Sync: !opts.NoSync, Logf: opts.Logf})
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		for i, ev := range events {
+			if err := s.applyEvent(ev); err != nil {
+				// Every event was validated before it was logged, so a bad
+				// one is survivable noise (e.g. an upload for a superseded
+				// model): log and keep replaying.
+				opts.Logf("server: replay: skipping event %d (type %d): %v", i, ev.Type, err)
+			}
+		}
+		opts.Logf("server: replayed %d events from %s (%d participants, %d records)",
+			len(events), opts.DataDir, s.st.parts, len(s.st.uploads))
+	}
+
+	s.route("/healthz", s.handleHealth)
+	s.route("/v1/encoder", s.handleEncoder)
+	s.route("/v1/model", s.handleModel)
+	s.route("/v1/uploads", s.handleUploads)
+	s.route("/v1/trace", s.handleTrace)
+	s.route("/v1/trace/{id}", s.handleTraceJob)
+	s.route("/v1/rules", s.handleRules)
+	s.route("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// route registers a handler with a per-pattern request counter.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(pattern, 1)
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// Close drains the trace worker pool (bounded by ctx), writes a final
+// snapshot, and releases the store. Safe to call more than once.
+func (s *Server) Close(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		drainErr := s.engine.Close(ctx)
+		var storeErr error
+		if s.store != nil {
+			s.mu.Lock()
+			storeErr = s.store.Compact(s.snapshotEventsLocked())
+			if cerr := s.store.Close(); storeErr == nil {
+				storeErr = cerr
+			}
+			s.mu.Unlock()
+		}
+		s.closeErr = errors.Join(drainErr, storeErr)
+	})
+	return s.closeErr
+}
+
+// applyEvent decodes and applies one durable event during replay. It runs
+// the same validation the original handler ran.
+func (s *Server) applyEvent(ev store.Event) error {
+	switch ev.Type {
+	case store.EventEncoder:
+		var enc dataset.Encoder
+		if err := json.Unmarshal(ev.Payload, &enc); err != nil {
+			return err
+		}
+		s.applyEncoder(&enc, ev.Payload)
+		return nil
+	case store.EventModel:
+		m, err := nn.ReadModel(bytes.NewReader(ev.Payload))
+		if err != nil {
+			return err
+		}
+		if s.st.enc == nil {
+			return errors.New("model event before encoder")
+		}
+		if m.InDim() != s.st.enc.Width() {
+			return fmt.Errorf("model width %d, encoder %d", m.InDim(), s.st.enc.Width())
+		}
+		s.applyModel(m, ev.Payload)
+		return nil
+	case store.EventUpload:
+		up, err := protocol.DecodeUpload(ev.Payload)
+		if err != nil {
+			return err
+		}
+		if s.st.rs == nil {
+			return errors.New("upload event before model")
+		}
+		if up.RuleWidth != s.st.rs.Width() {
+			return fmt.Errorf("upload width %d, rules %d", up.RuleWidth, s.st.rs.Width())
+		}
+		s.applyUpload(up, ev.Payload)
+		return nil
+	default:
+		return fmt.Errorf("unknown event type %d", ev.Type)
+	}
+}
+
+// The apply* mutators assume the write lock is held (or exclusive access
+// during replay). They are the single place state transitions happen, so
+// handler and replay behaviour cannot drift apart.
+
+func (s *Server) applyEncoder(enc *dataset.Encoder, raw []byte) {
+	s.st.enc, s.st.encRaw = enc, raw
+	// A new encoding invalidates any model and uploads tied to the old one.
+	s.st.model, s.st.modelRaw, s.st.rs = nil, nil, nil
+	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
+	s.st.version++
+}
+
+func (s *Server) applyModel(m *nn.Model, raw []byte) {
+	s.st.model, s.st.modelRaw = m, raw
+	s.st.rs = rules.Extract(m, s.st.enc)
+	// Uploads reference the previous model's rule space.
+	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
+	s.st.version++
+}
+
+func (s *Server) applyUpload(up *protocol.Upload, frame []byte) {
+	for _, rec := range up.Records {
+		s.st.uploads = append(s.st.uploads, core.TrainingUpload{
+			Owner:       up.Participant,
+			Label:       rec.Label,
+			Activations: rec.Activations,
+		})
+	}
+	s.st.frames = append(s.st.frames, frame)
+	if up.Participant+1 > s.st.parts {
+		s.st.parts = up.Participant + 1
+	}
+	s.st.version++
+}
+
+// snapshotEventsLocked re-creates current state as a minimal event list:
+// the compaction input. Caller holds at least the read lock.
+func (s *Server) snapshotEventsLocked() []store.Event {
+	var events []store.Event
+	if s.st.encRaw != nil {
+		events = append(events, store.Event{Type: store.EventEncoder, Payload: s.st.encRaw})
+	}
+	if s.st.modelRaw != nil {
+		events = append(events, store.Event{Type: store.EventModel, Payload: s.st.modelRaw})
+	}
+	for _, f := range s.st.frames {
+		events = append(events, store.Event{Type: store.EventUpload, Payload: f})
+	}
+	return events
+}
+
+// persistLocked write-ahead-logs one event and compacts the WAL when it
+// outgrows the configured bound. Caller holds the write lock; on error the
+// caller must not apply the mutation.
+func (s *Server) persistLocked(ev store.Event) error {
+	if s.store == nil {
+		return nil
+	}
+	if err := s.store.Append(ev); err != nil {
+		return err
+	}
+	if s.store.WALSize() > s.opts.CompactBytes {
+		// Compact the state *including* the event just logged. The apply
+		// happens after persist, so replicate it into the snapshot input.
+		events := s.snapshotEventsLocked()
+		switch ev.Type {
+		case store.EventEncoder:
+			events = []store.Event{ev}
+		case store.EventModel:
+			events = append(events[:1:1], ev)
+		case store.EventUpload:
+			events = append(events, ev)
+		}
+		if err := s.store.Compact(events); err != nil {
+			s.opts.Logf("server: wal compaction failed (continuing on wal): %v", err)
+		}
+	}
+	return nil
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -66,18 +352,40 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	s.mu.Lock()
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readBody drains a POST body under the configured cap, converting an
+// overrun into 413 at the call site via maxBytesCode.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+}
+
+// maxBytesCode maps body-too-large errors to 413 and everything else to
+// the given default.
+func maxBytesCode(err error, def int) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return def
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
 	state := map[string]any{
 		"ok":           true,
-		"encoder":      s.enc != nil,
-		"model":        s.model != nil,
-		"uploads":      len(s.uploads),
-		"participants": s.parts,
+		"encoder":      s.st.enc != nil,
+		"model":        s.st.model != nil,
+		"uploads":      len(s.st.uploads),
+		"participants": s.st.parts,
+		"durable":      s.store != nil,
 	}
-	s.mu.Unlock()
-	_ = json.NewEncoder(w).Encode(state)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, state)
 }
 
 func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
@@ -85,17 +393,23 @@ func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	raw, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
+		return
+	}
 	var enc dataset.Encoder
-	if err := json.NewDecoder(r.Body).Decode(&enc); err != nil {
+	if err := json.Unmarshal(raw, &enc); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.enc = &enc
-	// A new encoding invalidates any model and uploads tied to the old one.
-	s.model, s.rs = nil, nil
-	s.uploads, s.parts = nil, 0
+	if err := s.persistLocked(store.Event{Type: store.EventEncoder, Payload: raw}); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.applyEncoder(&enc, raw)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -104,26 +418,32 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	m, err := nn.ReadModel(r.Body)
+	raw, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
+		return
+	}
+	m, err := nn.ReadModel(bytes.NewReader(raw))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.enc == nil {
+	if s.st.enc == nil {
 		httpError(w, http.StatusConflict, errors.New("publish the encoder first"))
 		return
 	}
-	if m.InDim() != s.enc.Width() {
+	if m.InDim() != s.st.enc.Width() {
 		httpError(w, http.StatusBadRequest,
-			fmt.Errorf("model input width %d, encoder produces %d", m.InDim(), s.enc.Width()))
+			fmt.Errorf("model input width %d, encoder produces %d", m.InDim(), s.st.enc.Width()))
 		return
 	}
-	s.model = m
-	s.rs = rules.Extract(m, s.enc)
-	// Uploads reference the previous model's rule space.
-	s.uploads, s.parts = nil, 0
+	if err := s.persistLocked(store.Event{Type: store.EventModel, Payload: raw}); err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.applyModel(m, raw)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -132,46 +452,66 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.rs == nil {
+	// Snapshot the rule width, then decode and validate the whole batch
+	// without holding any lock — frame decoding is the expensive part.
+	s.mu.RLock()
+	rs := s.st.rs
+	version := s.st.version
+	s.mu.RUnlock()
+	if rs == nil {
 		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
 		return
 	}
-	accepted := 0
+
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var ups []*protocol.Upload
+	var frames [][]byte
 	for {
-		up, err := protocol.ReadUpload(r.Body)
+		up, err := protocol.ReadUpload(body)
 		if err != nil {
 			// A clean EOF at a frame boundary ends the batch; anything else
 			// (including a truncated frame) is a client error.
 			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 				break
 			}
+			httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
+			return
+		}
+		if up.RuleWidth != rs.Width() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("upload rule width %d, model has %d", up.RuleWidth, rs.Width()))
+			return
+		}
+		// Re-encode into the canonical frame the WAL stores; replaying it
+		// reproduces this decode exactly.
+		frame, err := up.Encode()
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		if up.RuleWidth != s.rs.Width() {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("upload rule width %d, model has %d", up.RuleWidth, s.rs.Width()))
+		ups = append(ups, up)
+		frames = append(frames, frame)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st.version != version {
+		// Encoder/model were republished while we decoded; these frames
+		// belong to a superseded rule space.
+		httpError(w, http.StatusConflict, errors.New("federation state changed during upload; resubmit"))
+		return
+	}
+	for i, up := range ups {
+		if err := s.persistLocked(store.Event{Type: store.EventUpload, Payload: frames[i]}); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		for _, rec := range up.Records {
-			s.uploads = append(s.uploads, core.TrainingUpload{
-				Owner:       up.Participant,
-				Label:       rec.Label,
-				Activations: rec.Activations,
-			})
-		}
-		if up.Participant+1 > s.parts {
-			s.parts = up.Participant + 1
-		}
-		accepted++
+		s.applyUpload(up, frames[i])
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]int{"frames": accepted, "records": len(s.uploads)})
+	writeJSON(w, http.StatusOK, map[string]int{"frames": len(ups), "records": len(s.st.uploads)})
 }
 
-// TraceResponse is the JSON result of POST /v1/trace.
+// TraceResponse is the JSON result of a completed trace job.
 type TraceResponse struct {
 	Accuracy     float64   `json:"accuracy"`
 	CoverageGap  float64   `json:"coverage_gap"`
@@ -180,6 +520,27 @@ type TraceResponse struct {
 	LossRatio    []float64 `json:"loss_ratio"`
 	UselessRatio []float64 `json:"useless_ratio"`
 	Suspects     []int     `json:"suspects"`
+}
+
+// TraceJobResponse is the envelope POST /v1/trace and GET /v1/trace/{id}
+// return: the job's lifecycle status plus, once done, the trace result.
+type TraceJobResponse struct {
+	ID       string         `json:"id"`
+	Status   string         `json:"status"`
+	CacheHit bool           `json:"cache_hit"`
+	Error    string         `json:"error,omitempty"`
+	Result   *TraceResponse `json:"result,omitempty"`
+}
+
+func jobResponse(v jobs.View) TraceJobResponse {
+	resp := TraceJobResponse{ID: v.ID, Status: string(v.Status), CacheHit: v.CacheHit}
+	if v.Err != nil {
+		resp.Error = v.Err.Error()
+	}
+	if tr, ok := v.Result.(*TraceResponse); ok {
+		resp.Result = tr
+	}
+	return resp
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -201,20 +562,37 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("tau %v outside (0,1]", tau))
 		return
 	}
+	var wait time.Duration
+	if wv := r.URL.Query().Get("wait"); wv != "" {
+		if wait, err = time.ParseDuration(wv); err != nil || wait < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("query wait: %q is not a duration", wv))
+			return
+		}
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
+		return
+	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.rs == nil {
+	// Snapshot-read the federation state: the job computes on this immutable
+	// view, never under the lock.
+	s.mu.RLock()
+	snap := s.st
+	s.mu.RUnlock()
+	if snap.rs == nil {
 		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
 		return
 	}
-	if len(s.uploads) == 0 {
+	if len(snap.uploads) == 0 {
 		httpError(w, http.StatusConflict, errors.New("no participant uploads registered"))
 		return
 	}
-	test, err := dataset.ReadCSV(r.Body, s.enc.Schema(), dataset.CSVOptions{
+	// Parse the CSV up front so malformed input is a 400 now, not a failed
+	// job later; the tracer itself is the only async stage.
+	test, err := dataset.ReadCSV(bytes.NewReader(body), snap.enc.Schema(), dataset.CSVOptions{
 		HasHeader:       true,
-		PositiveLabel:   s.enc.Schema().Labels[1],
+		PositiveLabel:   snap.enc.Schema().Labels[1],
 		TrimSpace:       true,
 		ClampContinuous: true,
 	})
@@ -227,24 +605,89 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	tracer := core.NewTracerFromUploads(s.rs, s.parts, cloneUploads(s.uploads), core.Config{TauW: tau, Delta: delta})
-	res := tracer.Trace(test)
-	sus := res.Suspicion(0.5)
-	resp := TraceResponse{
-		Accuracy:     res.Accuracy(),
-		CoverageGap:  res.CoverageGap(),
-		Micro:        res.MicroScores(),
-		Macro:        res.MacroScores(),
-		LossRatio:    sus.Ratio,
-		UselessRatio: res.UselessRatio(),
-		Suspects:     sus.Suspects,
+	key := traceKey(body, tau, delta, snap.version)
+	job, err := s.engine.Submit(key, func(ctx context.Context) (any, error) {
+		tracer := core.NewTracerFromUploads(snap.rs, snap.parts, cloneUploads(snap.uploads),
+			core.Config{TauW: tau, Delta: delta})
+		res := tracer.Trace(test)
+		sus := res.Suspicion(0.5)
+		return &TraceResponse{
+			Accuracy:     res.Accuracy(),
+			CoverageGap:  res.CoverageGap(),
+			Micro:        res.MicroScores(),
+			Macro:        res.MacroScores(),
+			LossRatio:    sus.Ratio,
+			UselessRatio: res.UselessRatio(),
+			Suspects:     sus.Suspects,
+		}, nil
+	})
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		defer cancel()
+		if v, err := s.engine.Wait(ctx, job); err == nil {
+			s.writeJob(w, v)
+			return
+		}
+		// Timed out waiting: fall through to the async 202 answer.
+	}
+	w.Header().Set("Location", "/v1/trace/"+job.ID())
+	writeJSON(w, http.StatusAccepted, jobResponse(job.Snapshot()))
+}
+
+// writeJob renders a job view with a status code matching its lifecycle:
+// 200 done, 500 failed, 202 still in flight.
+func (s *Server) writeJob(w http.ResponseWriter, v jobs.View) {
+	code := http.StatusAccepted
+	switch v.Status {
+	case jobs.StatusDone:
+		code = http.StatusOK
+	case jobs.StatusFailed:
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, jobResponse(v))
+}
+
+func (s *Server) handleTraceJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	job, ok := s.engine.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown trace job %q", r.PathValue("id")))
+		return
+	}
+	s.writeJob(w, job.Snapshot())
+}
+
+// traceKey derives the result-cache key: test-set content, tracing
+// parameters, and the federation state version — any state change yields a
+// fresh key, so stale results are never served.
+func traceKey(body []byte, tau float64, delta int, version uint64) string {
+	h := sha256.New()
+	var meta [24]byte
+	binary.LittleEndian.PutUint64(meta[0:8], uint64(int64(tau*1e12)))
+	binary.LittleEndian.PutUint64(meta[8:16], uint64(int64(delta)))
+	binary.LittleEndian.PutUint64(meta[16:24], version)
+	h.Write(meta[:])
+	h.Write(body)
+	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
 // cloneUploads protects the registered uploads from the tracer's in-place
-// class-side masking, so /v1/trace stays repeatable.
+// class-side masking, so traces stay repeatable.
 func cloneUploads(ups []core.TrainingUpload) []core.TrainingUpload {
 	out := make([]core.TrainingUpload, len(ups))
 	for i, u := range ups {
@@ -266,18 +709,54 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.rs == nil {
+	s.mu.RLock()
+	rs := s.st.rs
+	s.mu.RUnlock()
+	if rs == nil {
 		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
 		return
 	}
-	out := make([]RuleJSON, 0, len(s.rs.Rules))
-	for _, ru := range s.rs.Rules {
+	out := make([]RuleJSON, 0, len(rs.Rules))
+	for _, ru := range rs.Rules {
 		out = append(out, RuleJSON{Index: ru.Index, Positive: ru.Positive, Weight: ru.Weight, Expr: ru.Expr})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// StatsResponse is the shape of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Requests      json.RawMessage  `json:"requests"`
+	Jobs          map[string]int64 `json:"jobs"`
+	Store         *store.Metrics   `json:"store,omitempty"`
+	State         map[string]any   `json:"state"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	s.mu.RLock()
+	st := map[string]any{
+		"version":      s.st.version,
+		"encoder":      s.st.enc != nil,
+		"model":        s.st.model != nil,
+		"records":      len(s.st.uploads),
+		"participants": s.st.parts,
+	}
+	s.mu.RUnlock()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      json.RawMessage(s.requests.String()),
+		Jobs:          s.engine.MetricsView(),
+		State:         st,
+	}
+	if s.store != nil {
+		m := s.store.Metrics()
+		resp.Store = &m
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func queryFloat(r *http.Request, key string, def float64) (float64, error) {

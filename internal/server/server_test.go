@@ -132,15 +132,19 @@ func TestFullLifecycle(t *testing.T) {
 		t.Fatalf("upload info = %v", upInfo)
 	}
 
-	resp = post(t, ts, "/v1/trace?tau=0.9&delta=2", "text/csv", fx.testCSV)
+	resp = post(t, ts, "/v1/trace?tau=0.9&delta=2&wait=60s", "text/csv", fx.testCSV)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("trace status %d", resp.StatusCode)
 	}
-	var tr TraceResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+	var env TraceJobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if env.Status != "done" || env.Result == nil {
+		t.Fatalf("trace job = %+v", env)
+	}
+	tr := *env.Result
 	if len(tr.Micro) != fx.parts || len(tr.Macro) != fx.parts {
 		t.Fatalf("score widths: %d/%d", len(tr.Micro), len(tr.Macro))
 	}
@@ -155,13 +159,21 @@ func TestFullLifecycle(t *testing.T) {
 		t.Fatalf("group rationality over HTTP: sum %v vs %v-%v", sum, tr.Accuracy, tr.CoverageGap)
 	}
 
-	// Tracing must be repeatable (uploads are cloned per request).
-	resp = post(t, ts, "/v1/trace?tau=0.9", "text/csv", fx.testCSV)
-	var tr2 TraceResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr2); err != nil {
+	// Tracing must be repeatable — and an identical submission against
+	// unchanged state is served from the content-hash cache.
+	resp = post(t, ts, "/v1/trace?tau=0.9&wait=60s", "text/csv", fx.testCSV)
+	var env2 TraceJobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&env2); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if env2.Result == nil {
+		t.Fatalf("repeat trace job = %+v", env2)
+	}
+	if !env2.CacheHit {
+		t.Fatal("identical trace not served from cache")
+	}
+	tr2 := *env2.Result
 	for i := range tr.Micro {
 		if tr.Micro[i] != tr2.Micro[i] {
 			t.Fatal("trace is not repeatable")

@@ -15,6 +15,9 @@ go build ./...
 echo "== go test -race (hot paths: nn, core, bitset)"
 go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/...
 
+echo "== go test -race (service layer: store, jobs, server)"
+go test -race ./internal/store/... ./internal/jobs/... ./internal/server/...
+
 echo "== go test ./... (full suite)"
 go test ./...
 
