@@ -60,26 +60,56 @@ func cmdBench(args []string) error {
 	out := fs.String("o", "", "write the JSON report here (default: stdout)")
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 2s, 100x)")
 	count := fs.Int("count", 1, "go test -count value")
+	profileDir := fs.String("profile", "", "directory receiving per-package CPU and heap pprof profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	pkgList := strings.Split(*pkgs, ",")
-	goArgs := []string{"test", "-run=NONE", "-bench=" + *benchRe, "-benchmem",
+	commonArgs := []string{"-run=NONE", "-bench=" + *benchRe, "-benchmem",
 		"-count=" + strconv.Itoa(*count)}
 	if *benchtime != "" {
-		goArgs = append(goArgs, "-benchtime="+*benchtime)
+		commonArgs = append(commonArgs, "-benchtime="+*benchtime)
 	}
-	goArgs = append(goArgs, pkgList...)
 
-	fmt.Fprintf(os.Stderr, "ctfl bench: go %s\n", strings.Join(goArgs, " "))
-	cmd := exec.Command("go", goArgs...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		return fmt.Errorf("bench: go test failed: %w", err)
+	var raw []byte
+	if *profileDir != "" {
+		// go test rejects -cpuprofile with multiple packages, so profiled
+		// runs go one package at a time, each writing its own pprof pair.
+		if err := os.MkdirAll(*profileDir, 0o755); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		for _, pkg := range pkgList {
+			slug := pkgSlug(pkg)
+			goArgs := append([]string{"test"}, commonArgs...)
+			goArgs = append(goArgs,
+				"-cpuprofile", filepath.Join(*profileDir, slug+".cpu.pprof"),
+				"-memprofile", filepath.Join(*profileDir, slug+".mem.pprof"),
+				pkg)
+			fmt.Fprintf(os.Stderr, "ctfl bench: go %s\n", strings.Join(goArgs, " "))
+			cmd := exec.Command("go", goArgs...)
+			cmd.Stderr = os.Stderr
+			out, err := cmd.Output()
+			if err != nil {
+				return fmt.Errorf("bench: go test %s failed: %w", pkg, err)
+			}
+			os.Stderr.Write(out)
+			raw = append(raw, out...)
+		}
+		fmt.Fprintf(os.Stderr, "ctfl bench: profiles in %s (inspect with `go tool pprof`)\n", *profileDir)
+	} else {
+		goArgs := append([]string{"test"}, commonArgs...)
+		goArgs = append(goArgs, pkgList...)
+		fmt.Fprintf(os.Stderr, "ctfl bench: go %s\n", strings.Join(goArgs, " "))
+		cmd := exec.Command("go", goArgs...)
+		cmd.Stderr = os.Stderr
+		var err error
+		raw, err = cmd.Output()
+		if err != nil {
+			return fmt.Errorf("bench: go test failed: %w", err)
+		}
+		os.Stderr.Write(raw)
 	}
-	os.Stderr.Write(raw)
 
 	entries := parseBenchOutput(string(raw))
 	if len(entries) == 0 {
@@ -193,3 +223,13 @@ func loadBaseline(spec string) (map[string]benchEntry, error) {
 }
 
 func round2(v float64) float64 { return float64(int(v*100+0.5)) / 100 }
+
+// pkgSlug flattens a package path into a filename-safe profile prefix:
+// "./internal/core/" → "internal_core", "." → "root".
+func pkgSlug(pkg string) string {
+	s := strings.Trim(pkg, "./")
+	if s == "" {
+		return "root"
+	}
+	return strings.NewReplacer("/", "_", ".", "_").Replace(s)
+}

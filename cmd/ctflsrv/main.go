@@ -4,7 +4,7 @@
 //
 //	ctflsrv [-addr :8080] [-data-dir /var/lib/ctflsrv] [-workers 4]
 //	        [-queue 64] [-job-timeout 2m] [-max-body 67108864]
-//	        [-compact-bytes 8388608] [-no-sync]
+//	        [-compact-bytes 8388608] [-no-sync] [-pprof] [-log-json]
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
@@ -20,16 +20,24 @@
 //	POST /v1/trace         submit a test set (CSV) → async job (?wait= to block)
 //	GET  /v1/trace/{id}    poll a trace job
 //	GET  /v1/rules         inspect the extracted rules
-//	GET  /v1/stats         observability counters
+//	GET  /v1/stats         observability counters + telemetry snapshot
+//	GET  /v1/traces/recent recent request trace trees
+//	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness and state summary
+//
+// -pprof mounts net/http/pprof under /debug/pprof/ on the same listener.
+// -addr accepts port 0; the actual bound address is logged as
+// "ctflsrv listening on host:port", which harnesses parse.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,7 +47,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
+	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
 	dataDir := flag.String("data-dir", "", "persistence directory (empty = in-memory)")
 	workers := flag.Int("workers", 4, "trace worker pool size")
 	queue := flag.Int("queue", 64, "max queued trace jobs before 503")
@@ -48,7 +56,15 @@ func main() {
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL size triggering snapshot compaction")
 	noSync := flag.Bool("no-sync", false, "skip per-append WAL fsync (faster, less durable)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
+	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
 
 	svc, err := server.NewWithOptions(server.Options{
 		DataDir:      *dataDir,
@@ -58,14 +74,35 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		CompactBytes: *compactBytes,
 		NoSync:       *noSync,
+		Logger:       logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("ctflsrv: startup failed", "err", err)
+		os.Exit(1)
+	}
+
+	var handlerMux http.Handler = svc
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", svc)
+		handlerMux = mux
+	}
+
+	// Listen before serving so -addr :0 resolves to a concrete port the
+	// startup log can announce (smoke harnesses parse this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("ctflsrv: listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handlerMux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -74,32 +111,30 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		if *dataDir != "" {
-			log.Printf("ctflsrv listening on %s (data dir %s)", *addr, *dataDir)
-		} else {
-			log.Printf("ctflsrv listening on %s (in-memory)", *addr)
-		}
-		errc <- srv.ListenAndServe()
+		logger.Info("ctflsrv listening on "+ln.Addr().String(),
+			"addr", ln.Addr().String(), "data_dir", *dataDir, "pprof", *withPprof)
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			logger.Error("ctflsrv: serve failed", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
 		stop() // restore default signal behaviour: a second ^C kills hard
-		log.Printf("ctflsrv draining (max %s)...", *drainTimeout)
+		logger.Info("ctflsrv draining", "max", drainTimeout.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("ctflsrv: http shutdown: %v", err)
+			logger.Warn("ctflsrv: http shutdown", "err", err)
 		}
 		// Drain queued trace jobs and write the final snapshot.
 		if err := svc.Close(shutdownCtx); err != nil {
-			log.Printf("ctflsrv: close: %v", err)
+			logger.Warn("ctflsrv: close", "err", err)
 		} else {
-			log.Printf("ctflsrv: drained cleanly")
+			logger.Info("ctflsrv: drained cleanly")
 		}
 	}
 }

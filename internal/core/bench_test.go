@@ -15,11 +15,18 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rules"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // benchFixture trains one bench-scale model on the synthetic adult data and
 // indexes the federation's training uploads.
 func benchFixture(b *testing.B, trainRows, testRows int) (*Tracer, *dataset.Table) {
+	return benchFixtureCfg(b, trainRows, testRows, Config{TauW: 0.9})
+}
+
+// benchFixtureCfg is benchFixture with a caller-chosen tracer config (used
+// by the telemetry-overhead benchmarks).
+func benchFixtureCfg(b *testing.B, trainRows, testRows int, cfg Config) (*Tracer, *dataset.Table) {
 	b.Helper()
 	r := stats.NewRNG(7)
 	tab := dataset.Adult(r, trainRows+testRows)
@@ -40,13 +47,25 @@ func benchFixture(b *testing.B, trainRows, testRows int) (*Tracer, *dataset.Tabl
 	m.Train(xs, ys)
 	rs := rules.Extract(m, enc)
 	parts := fl.PartitionSkewSample(train, 8, 2.0, r)
-	return NewTracer(rs, parts, Config{TauW: 0.9}), test
+	return NewTracer(rs, parts, cfg), test
 }
 
 // BenchmarkTraceIndexed measures a full tracing pass (Eq. 4 for every test
 // instance plus allocation bookkeeping) against 4000 indexed uploads.
 func BenchmarkTraceIndexed(b *testing.B) {
 	tracer, test := benchFixture(b, 4000, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tracer.Trace(test)
+	}
+}
+
+// BenchmarkTraceIndexedObserved is BenchmarkTraceIndexed with the full
+// tracer telemetry (strategy counters, latency histograms) enabled, so
+// BENCH_*.json pins the instrumentation overhead against the plain run.
+func BenchmarkTraceIndexedObserved(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	tracer, test := benchFixtureCfg(b, 4000, 400, Config{TauW: 0.9, Obs: NewObs(reg)})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tracer.Trace(test)

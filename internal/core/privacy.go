@@ -52,6 +52,7 @@ func (t *Tracer) WithLocalDP(eps float64, seed int64) *Tracer {
 	r := rand.New(rand.NewSource(seed))
 	dp := &Tracer{
 		cfg:        t.cfg,
+		obs:        t.obs,
 		rs:         t.rs,
 		numParts:   t.numParts,
 		trainOwner: t.trainOwner,

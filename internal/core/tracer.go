@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
@@ -39,6 +40,9 @@ type Config struct {
 	GroupMinSupport float64
 	// Workers bounds tracing parallelism; 0 means a small default.
 	Workers int
+	// Obs receives tracer telemetry (strategy counters, query latency).
+	// Nil disables instrumentation at the cost of one pointer check.
+	Obs *Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +65,9 @@ func (c Config) withDefaults() Config {
 // through the activated rules of a trained rule-based model.
 type Tracer struct {
 	cfg Config
+	// obs is cfg.Obs or an inert zero value, so instrumentation sites
+	// never need a nil check on the struct itself.
+	obs *Obs
 	rs  *rules.Set
 
 	numParts int
@@ -141,7 +148,11 @@ func NewTracerFromUploads(rs *rules.Set, numParts int, uploads []TrainingUpload,
 	if cfg.TauW <= 0 || cfg.TauW > 1 {
 		panic(fmt.Sprintf("core: TauW must be in (0,1], got %v", cfg.TauW))
 	}
-	t := &Tracer{cfg: cfg, rs: rs, numParts: numParts}
+	t := &Tracer{cfg: cfg, obs: cfg.Obs, rs: rs, numParts: numParts}
+	if t.obs == nil {
+		t.obs = &Obs{}
+	}
+	buildStart := time.Now()
 	for _, u := range uploads {
 		if u.Owner < 0 || u.Owner >= numParts {
 			panic(fmt.Sprintf("core: upload owner %d out of range [0,%d)", u.Owner, numParts))
@@ -157,6 +168,8 @@ func NewTracerFromUploads(rs *rules.Set, numParts int, uploads []TrainingUpload,
 		t.trainByLabel[u.Label] = append(t.trainByLabel[u.Label], idx)
 	}
 	t.buildIndex()
+	t.obs.BuildSeconds.ObserveSince(buildStart)
+	t.obs.UniqueGroups.Set(float64(len(t.upat)))
 	return t
 }
 
@@ -321,6 +334,7 @@ type traceOut struct {
 // the predicted-class side (TP/TN for correct predictions earn credit,
 // FP/FN feed the loss analysis) and accumulates interpretability counters.
 func (t *Tracer) Trace(test *dataset.Table) *Result {
+	traceStart := time.Now()
 	acts, pred := t.rs.ActivationsTable(test)
 	res := &Result{
 		NumParticipants:   t.numParts,
@@ -366,6 +380,10 @@ func (t *Tracer) Trace(test *dataset.Table) *Result {
 		g.members = append(g.members, i)
 	}
 
+	// Every member beyond each group's representative is a query the
+	// pattern dedup absorbed.
+	t.obs.PatternDedupHits.Add(int64(test.Len() - len(order)))
+
 	outs := make([]traceOut, len(order))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, t.cfg.Workers)
@@ -399,6 +417,7 @@ func (t *Tracer) Trace(test *dataset.Table) *Result {
 			t.accumulate(res, te, sideActs[te], trueSide, out)
 		}
 	}
+	t.obs.TraceSeconds.ObserveSince(traceStart)
 	return res
 }
 
@@ -416,9 +435,16 @@ func (t *Tracer) TraceActivations(side *bitset.Set, label int) []int {
 // instances are those in the predicted class whose class-side activations
 // cover at least TauW of the pattern's weighted activations.
 func (t *Tracer) traceOne(side *bitset.Set, denom float64, label int) traceOut {
+	var queryStart time.Time
+	if t.obs.QuerySeconds != nil {
+		queryStart = time.Now()
+	}
 	counts := make([]int, t.numParts)
 	sc := t.getScratch()
 	m := t.traceInto(side, denom, label, counts, sc)
+	if t.obs.QuerySeconds != nil {
+		t.obs.QuerySeconds.ObserveSince(queryStart)
+	}
 	var matched []int32
 	if len(m) > 0 {
 		matched = append(matched, m...)
@@ -450,12 +476,14 @@ func (t *Tracer) traceOne(side *bitset.Set, denom float64, label int) traceOut {
 // dense patterns whose rules occur in most groups.
 func (t *Tracer) traceInto(side *bitset.Set, denom float64, label int, counts []int, sc *traceScratch) []int32 {
 	if denom <= 0 {
+		t.obs.EarlyRejects.Inc()
 		return nil
 	}
 	need := t.cfg.TauW*denom - 1e-12
 	// No indexed group of this label can reach the threshold: the
 	// precomputed per-group totals bound every possible overlap.
 	if t.maxTotal[label] < need {
+		t.obs.EarlyRejects.Inc()
 		return nil
 	}
 	weights := t.rs.Weights()
@@ -468,6 +496,7 @@ func (t *Tracer) traceInto(side *bitset.Set, denom float64, label int, counts []
 	// word of a bit-parallel intersect; 2x scan size is the measured
 	// break-even on word-sized rule sets.
 	if postingWork <= 2*len(cand) {
+		t.obs.IndexQueries.Inc()
 		sc.gen++
 		if sc.gen == 0 { // generation counter wrapped: clear stamps once
 			for i := range sc.stamp {
@@ -498,6 +527,7 @@ func (t *Tracer) traceInto(side *bitset.Set, denom float64, label int, counts []
 		}
 		sc.touched = touched
 	} else {
+		t.obs.ScanQueries.Inc()
 		for _, u := range cand {
 			if side.WeightedIntersect(t.upat[u], weights) >= need {
 				matched = append(matched, u)

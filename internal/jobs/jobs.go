@@ -13,10 +13,11 @@ package jobs
 import (
 	"context"
 	"errors"
-	"expvar"
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Status is a job's position in its lifecycle state machine.
@@ -102,6 +103,13 @@ type Config struct {
 	// RetainJobs bounds how many terminal jobs stay queryable by id beyond
 	// those in the cache. Default 512.
 	RetainJobs int
+	// Obs receives engine telemetry. Nil uses a private, unregistered
+	// instrument set, so MetricsView always works.
+	Obs *Obs
+	// Now is the engine's clock for job timestamps (enqueued/started/
+	// finished and the derived wait/run histograms). Nil means time.Now;
+	// tests inject a fake for deterministic timing assertions.
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -120,25 +128,55 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 512
 	}
+	if c.Obs == nil {
+		c.Obs = NewObs(telemetry.NewRegistry())
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	return c
 }
 
-// Metrics are the engine's expvar-backed counters. Gauges (queued, running)
-// move both ways; the rest are monotonic.
-type Metrics struct {
-	Submitted expvar.Int
-	Queued    expvar.Int
-	Running   expvar.Int
-	Done      expvar.Int
-	Failed    expvar.Int
-	CacheHits expvar.Int
-	Rejected  expvar.Int
+// Obs is the engine's instrument set. Gauges (QueueDepth, Running) move
+// both ways; counters are monotonic. The cache hit ratio is
+// CacheHits / CacheLookups.
+type Obs struct {
+	Submitted    *telemetry.Counter
+	Done         *telemetry.Counter
+	Failed       *telemetry.Counter
+	CacheHits    *telemetry.Counter
+	CacheLookups *telemetry.Counter
+	Rejected     *telemetry.Counter
+	QueueDepth   *telemetry.Gauge
+	Running      *telemetry.Gauge
+	// WaitSeconds is time spent queued before a worker picked the job up;
+	// RunSeconds is the job function's execution time.
+	WaitSeconds *telemetry.Histogram
+	RunSeconds  *telemetry.Histogram
+}
+
+// NewObs registers the job-engine metric family on r and returns the
+// handle to pass in Config.Obs.
+func NewObs(r *telemetry.Registry) *Obs {
+	return &Obs{
+		Submitted:    r.Counter("ctfl_jobs_submitted_total", "jobs accepted into the queue"),
+		Done:         r.Counter("ctfl_jobs_done_total", "jobs finished successfully"),
+		Failed:       r.Counter("ctfl_jobs_failed_total", "jobs finished with an error"),
+		CacheHits:    r.Counter("ctfl_jobs_cache_hits_total", "submissions served by the result cache"),
+		CacheLookups: r.Counter("ctfl_jobs_cache_lookups_total", "submissions that consulted the result cache"),
+		Rejected:     r.Counter("ctfl_jobs_rejected_total", "submissions rejected by queue backpressure"),
+		QueueDepth:   r.Gauge("ctfl_jobs_queue_depth", "jobs waiting for a worker"),
+		Running:      r.Gauge("ctfl_jobs_running", "jobs currently executing"),
+		WaitSeconds:  r.Histogram("ctfl_jobs_wait_seconds", "queue wait time before execution", nil),
+		RunSeconds:   r.Histogram("ctfl_jobs_run_seconds", "job execution time", nil),
+	}
 }
 
 // Engine is the async job runner. Create with New, stop with Close.
 type Engine struct {
-	cfg     Config
-	metrics Metrics
+	cfg Config
+	obs *Obs
+	now func() time.Time
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -160,6 +198,8 @@ func New(cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		cfg:    cfg,
+		obs:    cfg.Obs,
+		now:    cfg.Now,
 		ctx:    ctx,
 		cancel: cancel,
 		queue:  make(chan *Job, cfg.QueueDepth),
@@ -176,13 +216,13 @@ func New(cfg Config) *Engine {
 // MetricsView reads the engine's counters.
 func (e *Engine) MetricsView() map[string]int64 {
 	return map[string]int64{
-		"submitted":  e.metrics.Submitted.Value(),
-		"queued":     e.metrics.Queued.Value(),
-		"running":    e.metrics.Running.Value(),
-		"done":       e.metrics.Done.Value(),
-		"failed":     e.metrics.Failed.Value(),
-		"cache_hits": e.metrics.CacheHits.Value(),
-		"rejected":   e.metrics.Rejected.Value(),
+		"submitted":  e.obs.Submitted.Value(),
+		"queued":     int64(e.obs.QueueDepth.Value()),
+		"running":    int64(e.obs.Running.Value()),
+		"done":       e.obs.Done.Value(),
+		"failed":     e.obs.Failed.Value(),
+		"cache_hits": e.obs.CacheHits.Value(),
+		"rejected":   e.obs.Rejected.Value(),
 	}
 }
 
@@ -198,11 +238,12 @@ func (e *Engine) Submit(key string, fn Fn) (*Job, error) {
 		return nil, ErrClosed
 	}
 	if key != "" && e.cfg.CacheSize > 0 {
+		e.obs.CacheLookups.Inc()
 		if j, ok := e.cache[key]; ok {
 			j.mu.Lock()
 			j.cacheHit = true
 			j.mu.Unlock()
-			e.metrics.CacheHits.Add(1)
+			e.obs.CacheHits.Inc()
 			e.mu.Unlock()
 			return j, nil
 		}
@@ -212,7 +253,7 @@ func (e *Engine) Submit(key string, fn Fn) (*Job, error) {
 		id:       fmt.Sprintf("job-%08d", e.seq),
 		key:      key,
 		status:   StatusQueued,
-		enqueued: time.Now(),
+		enqueued: e.now(),
 		done:     make(chan struct{}),
 		fn:       fn,
 	}
@@ -220,7 +261,7 @@ func (e *Engine) Submit(key string, fn Fn) (*Job, error) {
 	select {
 	case e.queue <- j:
 	default:
-		e.metrics.Rejected.Add(1)
+		e.obs.Rejected.Inc()
 		e.mu.Unlock()
 		return nil, ErrQueueFull
 	}
@@ -228,8 +269,8 @@ func (e *Engine) Submit(key string, fn Fn) (*Job, error) {
 	if key != "" && e.cfg.CacheSize > 0 {
 		e.cache[key] = j // dedup in-flight submissions immediately
 	}
-	e.metrics.Submitted.Add(1)
-	e.metrics.Queued.Add(1)
+	e.obs.Submitted.Inc()
+	e.obs.QueueDepth.Add(1)
 	e.mu.Unlock()
 	return j, nil
 }
@@ -263,19 +304,22 @@ func (e *Engine) worker() {
 func (e *Engine) run(j *Job) {
 	j.mu.Lock()
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.started = e.now()
+	wait := j.started.Sub(j.enqueued)
 	fn := j.fn
 	j.fn = nil // release captured state once run
 	j.mu.Unlock()
-	e.metrics.Queued.Add(-1)
-	e.metrics.Running.Add(1)
+	e.obs.QueueDepth.Add(-1)
+	e.obs.Running.Add(1)
+	e.obs.WaitSeconds.Observe(wait.Seconds())
 
 	ctx, cancel := context.WithTimeout(e.ctx, e.cfg.JobTimeout)
 	result, err := runProtected(ctx, fn)
 	cancel()
 
 	j.mu.Lock()
-	j.finished = time.Now()
+	j.finished = e.now()
+	run := j.finished.Sub(j.started)
 	if err != nil {
 		j.status = StatusFailed
 		j.err = err
@@ -284,11 +328,12 @@ func (e *Engine) run(j *Job) {
 		j.result = result
 	}
 	j.mu.Unlock()
-	e.metrics.Running.Add(-1)
+	e.obs.Running.Add(-1)
+	e.obs.RunSeconds.Observe(run.Seconds())
 	if err != nil {
-		e.metrics.Failed.Add(1)
+		e.obs.Failed.Inc()
 	} else {
-		e.metrics.Done.Add(1)
+		e.obs.Done.Inc()
 	}
 	close(j.done)
 	e.retire(j, err == nil)

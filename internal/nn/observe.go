@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// EpochStats is what the training loop reports after each epoch when a
+// TrainHooks is installed.
+type EpochStats struct {
+	// Epoch is the 1-based epoch index within the TrainEpochs call.
+	Epoch int
+	// Loss is the epoch's mean training loss.
+	Loss float64
+	// Elapsed is the epoch's wall time (shuffle, batches, optimizer steps).
+	Elapsed time.Duration
+	// SelectedWeights counts logical weights above the 0.5 binarization
+	// threshold — the size of the deployed (grafted) rule structure.
+	SelectedWeights int
+	// GraftSwitches counts logical weights that crossed the binarization
+	// threshold in either direction during this epoch: how much the
+	// discrete structure the grafted gradient is taken at is still moving.
+	GraftSwitches int
+}
+
+// TrainHooks observes training. A nil hooks pointer (the default) is
+// completely free: the per-sample kernels are untouched and the per-epoch
+// loop performs one nil check, so grafted training stays allocation-free
+// in steady state (pinned by TestTrainInnerLoopZeroAlloc).
+type TrainHooks struct {
+	// OnEpoch is called synchronously after every epoch. It must be fast;
+	// it runs on the training goroutine.
+	OnEpoch func(EpochStats)
+}
+
+// SetTrainHooks installs (or with nil removes) training observation.
+func (m *Model) SetTrainHooks(h *TrainHooks) { m.hooks = h }
+
+// selectionMask fills mask (len headOff) with the current binarization of
+// every logical weight and returns how many are selected and how many
+// entries changed relative to the mask's previous contents.
+func (m *Model) selectionMask(mask []bool, first bool) (selected, switches int) {
+	for i, w := range m.flat[:m.headOff] {
+		sel := w > 0.5
+		if sel {
+			selected++
+		}
+		if !first && sel != mask[i] {
+			switches++
+		}
+		mask[i] = sel
+	}
+	return selected, switches
+}
+
+// TrainTelemetry bridges TrainHooks onto a telemetry registry, exposing
+// the per-epoch gauges and counters of the training hot path:
+//
+//	ctfl_train_epochs_total        epochs completed
+//	ctfl_train_epoch_seconds       per-epoch wall-time histogram
+//	ctfl_train_last_loss           most recent epoch's mean loss
+//	ctfl_train_selected_weights    binarized rule-structure size
+//	ctfl_train_graft_switches_total  cumulative binarization flips
+//
+// Install the result with Model.SetTrainHooks.
+func TrainTelemetry(r *telemetry.Registry) *TrainHooks {
+	epochs := r.Counter("ctfl_train_epochs_total", "training epochs completed")
+	seconds := r.Histogram("ctfl_train_epoch_seconds", "per-epoch training wall time", nil)
+	loss := r.Gauge("ctfl_train_last_loss", "mean training loss of the most recent epoch")
+	selected := r.Gauge("ctfl_train_selected_weights", "logical weights above the binarization threshold")
+	switches := r.Counter("ctfl_train_graft_switches_total", "logical weights that crossed the binarization threshold")
+	return &TrainHooks{OnEpoch: func(s EpochStats) {
+		epochs.Inc()
+		seconds.Observe(s.Elapsed.Seconds())
+		loss.Set(s.Loss)
+		selected.Set(float64(s.SelectedWeights))
+		switches.Add(int64(s.GraftSwitches))
+	}}
+}

@@ -1,0 +1,103 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func obsModel(t *testing.T, dim int) *Model {
+	t.Helper()
+	m, err := New(dim, Config{
+		Hidden: []int{32}, Grafting: true, Seed: 3,
+		L1Logic: 2e-4, L2Head: 1e-3, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainHooksEpochStats(t *testing.T) {
+	xs, ys := benchData(400, 40, 1)
+	m := obsModel(t, 40)
+
+	var got []EpochStats
+	m.SetTrainHooks(&TrainHooks{OnEpoch: func(st EpochStats) { got = append(got, st) }})
+	loss := m.TrainEpochs(xs, ys, 4)
+
+	if len(got) != 4 {
+		t.Fatalf("observed %d epochs, want 4", len(got))
+	}
+	for i, st := range got {
+		if st.Epoch != i+1 {
+			t.Errorf("epoch[%d].Epoch = %d, want %d", i, st.Epoch, i+1)
+		}
+		if math.IsNaN(st.Loss) || math.IsInf(st.Loss, 0) {
+			t.Errorf("epoch %d loss not finite: %v", st.Epoch, st.Loss)
+		}
+		if st.Elapsed < 0 {
+			t.Errorf("epoch %d elapsed negative: %v", st.Epoch, st.Elapsed)
+		}
+		if st.SelectedWeights < 0 || st.SelectedWeights > m.headOff {
+			t.Errorf("epoch %d selected weights %d outside [0,%d]", st.Epoch, st.SelectedWeights, m.headOff)
+		}
+		if st.GraftSwitches < 0 {
+			t.Errorf("epoch %d graft switches negative: %d", st.Epoch, st.GraftSwitches)
+		}
+	}
+	if got[len(got)-1].Loss != loss {
+		t.Errorf("final hook loss %v, TrainEpochs returned %v", got[len(got)-1].Loss, loss)
+	}
+}
+
+func TestTrainTelemetryRegisters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	xs, ys := benchData(300, 40, 2)
+	m := obsModel(t, 40)
+	m.SetTrainHooks(TrainTelemetry(reg))
+	m.TrainEpochs(xs, ys, 3)
+
+	snap := reg.Snapshot()
+	if n, ok := snap["ctfl_train_epochs_total"].(int64); !ok || n != 3 {
+		t.Fatalf("ctfl_train_epochs_total = %v, want 3", snap["ctfl_train_epochs_total"])
+	}
+	hs, ok := snap["ctfl_train_epoch_seconds"].(telemetry.HistogramSnapshot)
+	if !ok || hs.Count != 3 {
+		t.Fatalf("ctfl_train_epoch_seconds = %#v, want count 3", snap["ctfl_train_epoch_seconds"])
+	}
+	if _, ok := snap["ctfl_train_last_loss"]; !ok {
+		t.Fatal("ctfl_train_last_loss missing from snapshot")
+	}
+}
+
+// TestTrainInnerLoopZeroAlloc pins the telemetry-disabled training hot loop
+// at zero allocations per batch: with no hooks installed, one batchGrad +
+// stepFused round must not allocate once scratch pools are warm.
+func TestTrainInnerLoopZeroAlloc(t *testing.T) {
+	xs, ys := benchData(256, 40, 4)
+	m := obsModel(t, 40)
+
+	grad := make([]float64, m.numParams())
+	gbs := []*gradBuffers{m.getGradBuffers()}
+	defer m.putGradBuffers(gbs[0])
+	losses := make([]float64, 1)
+	batch := make([]int, 32)
+	for i := range batch {
+		batch[i] = i
+	}
+
+	// Warm the pools and the discrete compilation cache.
+	for i := 0; i < 3; i++ {
+		m.batchGrad(xs, ys, batch, gbs, losses, grad)
+		m.stepFused(grad)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		m.batchGrad(xs, ys, batch, gbs, losses, grad)
+		m.stepFused(grad)
+	})
+	if allocs != 0 {
+		t.Fatalf("training inner loop allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -132,6 +132,35 @@ func (c *Client) Stats() (*StatsResponse, error) {
 	return &out, nil
 }
 
+// Metrics fetches the Prometheus text exposition of the server's metric
+// registry, verbatim.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.http().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return "", fmt.Errorf("server: GET /metrics: status %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// TracesRecent fetches up to n recent request trace trees, newest first
+// (n <= 0 uses the server default).
+func (c *Client) TracesRecent(n int) (*TracesResponse, error) {
+	path := "/v1/traces/recent"
+	if n > 0 {
+		path = fmt.Sprintf("%s?n=%d", path, n)
+	}
+	var out TracesResponse
+	if err := c.do(http.MethodGet, path, "", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Rules fetches the extracted rule set.
 func (c *Client) Rules() ([]RuleJSON, error) {
 	var out []RuleJSON

@@ -40,7 +40,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -53,6 +53,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Options tunes the service. The zero value is a fully in-memory server
@@ -76,8 +77,18 @@ type Options struct {
 	CompactBytes int64
 	// NoSync disables the per-append WAL fsync (durability for speed).
 	NoSync bool
-	// Logf receives recovery/lifecycle diagnostics. Defaults to log.Printf.
+	// Logger is the service's structured logger: access log, recovery and
+	// lifecycle diagnostics. Defaults to a logger built from Logf when that
+	// is set, else slog.Default().
+	Logger *slog.Logger
+	// Logf is the legacy printf-style hook, kept as a compatibility shim:
+	// when set (and Logger is not), all logging renders through it. When
+	// only Logger is set, Logf is derived from it so internal printf-style
+	// call sites keep working.
 	Logf func(format string, args ...any)
+	// SpanLogSize bounds the ring buffer of recent request trace trees
+	// served by GET /v1/traces/recent (default 64).
+	SpanLogSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -96,8 +107,17 @@ func (o Options) withDefaults() Options {
 	if o.CompactBytes <= 0 {
 		o.CompactBytes = 8 << 20
 	}
+	if o.Logger == nil {
+		o.Logger = telemetry.LogfLogger(o.Logf) // nil Logf → slog.Default()
+	}
 	if o.Logf == nil {
-		o.Logf = log.Printf
+		lg := o.Logger
+		o.Logf = func(format string, args ...any) {
+			lg.Info(fmt.Sprintf(format, args...))
+		}
+	}
+	if o.SpanLogSize <= 0 {
+		o.SpanLogSize = 64
 	}
 	return o
 }
@@ -129,8 +149,19 @@ type Server struct {
 	engine *jobs.Engine
 
 	mux      *http.ServeMux
-	requests *expvar.Map // per-route request counters
+	requests *expvar.Map // per-route request counters (legacy /v1/stats shape)
 	started  time.Time
+
+	// Observability substrate: one registry for every metric family the
+	// process owns, a ring of recent request trace trees, the unified
+	// structured logger, and the tracer/store instrument handles threaded
+	// into the subsystems.
+	reg      *telemetry.Registry
+	spans    *telemetry.SpanLog
+	log      *slog.Logger
+	inFlight *telemetry.Gauge
+	coreObs  *core.Obs
+	storeObs *store.Obs
 
 	closeOnce sync.Once
 	closeErr  error
@@ -156,15 +187,25 @@ func NewWithOptions(opts Options) (*Server, error) {
 		mux:      http.NewServeMux(),
 		requests: new(expvar.Map).Init(),
 		started:  time.Now(),
+		reg:      telemetry.NewRegistry(),
+		spans:    telemetry.NewSpanLog(opts.SpanLogSize),
+		log:      opts.Logger,
 	}
+	s.inFlight = s.reg.Gauge("ctfl_http_in_flight", "HTTP requests currently being served")
+	s.coreObs = core.NewObs(s.reg)
+	s.storeObs = store.NewObs(s.reg)
+	// The server never trains, but registering the family keeps the full
+	// metric catalog visible to scrapes from process start.
+	_ = nn.TrainTelemetry(s.reg)
 	s.engine = jobs.New(jobs.Config{
 		Workers:    opts.Workers,
 		QueueDepth: opts.QueueDepth,
 		JobTimeout: opts.JobTimeout,
+		Obs:        jobs.NewObs(s.reg),
 	})
 
 	if opts.DataDir != "" {
-		st, events, err := store.Open(opts.DataDir, store.Options{Sync: !opts.NoSync, Logf: opts.Logf})
+		st, events, err := store.Open(opts.DataDir, store.Options{Sync: !opts.NoSync, Logf: opts.Logf, Obs: s.storeObs})
 		if err != nil {
 			return nil, err
 		}
@@ -189,16 +230,15 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.route("/v1/trace/{id}", s.handleTraceJob)
 	s.route("/v1/rules", s.handleRules)
 	s.route("/v1/stats", s.handleStats)
+	s.route("/v1/traces/recent", s.handleTracesRecent)
+	s.route("/metrics", s.handleMetrics)
 	return s, nil
 }
 
-// route registers a handler with a per-pattern request counter.
-func (s *Server) route(pattern string, h http.HandlerFunc) {
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(pattern, 1)
-		h(w, r)
-	})
-}
+// Registry exposes the server's metric registry, so embedding callers
+// (CLI harnesses, tests) can register or read instruments alongside the
+// built-in families.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -606,10 +646,21 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := traceKey(body, tau, delta, snap.version)
+	// Capture the request context for span parentage only: context values
+	// survive request cancellation, so the async job's spans attach under
+	// the request's root even after the handler has answered 202. The
+	// job's own cancellation comes from the engine-provided ctx.
+	sctx := r.Context()
 	job, err := s.engine.Submit(key, func(ctx context.Context) (any, error) {
+		jctx, jspan := telemetry.StartSpan(sctx, "job.trace")
+		defer jspan.End()
+		jspan.SetAttr("rows", test.Len())
+		jspan.SetAttr("participants", snap.parts)
 		tracer := core.NewTracerFromUploads(snap.rs, snap.parts, cloneUploads(snap.uploads),
-			core.Config{TauW: tau, Delta: delta})
+			core.Config{TauW: tau, Delta: delta, Obs: s.coreObs})
+		_, tspan := telemetry.StartSpan(jctx, "tracer.trace")
 		res := tracer.Trace(test)
+		tspan.End()
 		sus := res.Suspicion(0.5)
 		return &TraceResponse{
 			Accuracy:     res.Accuracy(),
@@ -730,6 +781,12 @@ type StatsResponse struct {
 	Jobs          map[string]int64 `json:"jobs"`
 	Store         *store.Metrics   `json:"store,omitempty"`
 	State         map[string]any   `json:"state"`
+	// Telemetry is the full metric-registry snapshot — the JSON twin of
+	// GET /metrics. Counters/gauges are scalars; histograms carry
+	// count/sum/p50/p95/p99.
+	Telemetry map[string]any `json:"telemetry,omitempty"`
+	// Traces counts root spans recorded so far (see /v1/traces/recent).
+	Traces int64 `json:"traces"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -751,6 +808,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:      json.RawMessage(s.requests.String()),
 		Jobs:          s.engine.MetricsView(),
 		State:         st,
+		Telemetry:     s.reg.Snapshot(),
+		Traces:        s.spans.Total(),
 	}
 	if s.store != nil {
 		m := s.store.Metrics()

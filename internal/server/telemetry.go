@@ -1,0 +1,113 @@
+package server
+
+// Observability surface: every route runs through a middleware that stamps
+// a request id, emits a structured access-log line, counts and times the
+// request, and opens the root span of the request's trace tree. The
+// aggregate state is exported three ways — Prometheus text on GET /metrics,
+// a JSON snapshot merged into GET /v1/stats, and recent span trees on
+// GET /v1/traces/recent.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// statusWriter captures the status code and body size a handler produced,
+// for the access log and the root span.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// route registers a handler behind the telemetry middleware: request-id
+// propagation, per-route counter + latency histogram, in-flight gauge,
+// root span, and one access-log line per request.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	reqs := s.reg.Counter(fmt.Sprintf("ctfl_http_requests_total{route=%q}", pattern),
+		"HTTP requests served, by route")
+	lat := s.reg.Histogram(fmt.Sprintf("ctfl_http_request_seconds{route=%q}", pattern),
+		"HTTP request latency, by route", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		reqLog := s.log.With("request_id", id)
+		ctx := telemetry.WithRequestID(r.Context(), id)
+		ctx = telemetry.WithLogger(ctx, reqLog)
+		ctx = telemetry.WithSpanLog(ctx, s.spans)
+		ctx, span := telemetry.StartSpan(ctx, "http "+pattern)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("request_id", id)
+
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.requests.Add(pattern, 1)
+		reqs.Inc()
+		s.inFlight.Add(1)
+		h(sw, r.WithContext(ctx))
+		s.inFlight.Add(-1)
+
+		d := time.Since(t0)
+		lat.Observe(d.Seconds())
+		span.SetAttr("status", sw.code)
+		span.End()
+		reqLog.Info("request",
+			"method", r.Method,
+			"route", pattern,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"duration_ms", float64(d)/float64(time.Millisecond),
+		)
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// TracesResponse is the shape of GET /v1/traces/recent.
+type TracesResponse struct {
+	// Total counts every root span ever recorded; Traces holds the most
+	// recent ones (ring-buffer bounded), newest first.
+	Total  int64                `json:"total"`
+	Traces []telemetry.SpanView `json:"traces"`
+}
+
+// handleTracesRecent serves recent request trace trees, newest first.
+// ?n= bounds the count (default 20).
+func (s *Server) handleTracesRecent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	n, err := queryInt(r, "n", 20)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Total: s.spans.Total(), Traces: s.spans.Recent(n)})
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"repro/internal/telemetry"
+)
+
+// Obs collects the store's durability instrumentation: WAL append latency
+// and sizes, compaction timings, and replay outcomes. A nil Obs in Options
+// disables all of it — the zero value is inert because every telemetry
+// instrument is a nil-safe no-op.
+type Obs struct {
+	// AppendSeconds times one durable Append (including the fsync when
+	// Options.Sync is on); AppendBytes sizes the encoded records.
+	AppendSeconds *telemetry.Histogram
+	AppendBytes   *telemetry.Histogram
+	// CompactSeconds times snapshot publication + WAL reset; Compactions
+	// counts them.
+	CompactSeconds *telemetry.Histogram
+	Compactions    *telemetry.Counter
+	// ReplayEvents counts events recovered on Open (snapshot + WAL);
+	// ReplayTruncatedBytes counts corrupt WAL tail bytes dropped;
+	// SnapshotFallbacks counts unreadable snapshots skipped for an older
+	// version.
+	ReplayEvents         *telemetry.Counter
+	ReplayTruncatedBytes *telemetry.Counter
+	SnapshotFallbacks    *telemetry.Counter
+	// WALBytes / WALEvents gauge the live WAL (reset to zero on compaction).
+	WALBytes  *telemetry.Gauge
+	WALEvents *telemetry.Gauge
+}
+
+// NewObs registers the store metric family on r and returns the handle to
+// pass in Options.Obs.
+func NewObs(r *telemetry.Registry) *Obs {
+	return &Obs{
+		AppendSeconds:  r.Histogram("ctfl_store_append_seconds", "WAL append latency (including fsync when enabled)", nil),
+		AppendBytes:    r.Histogram("ctfl_store_append_bytes", "encoded WAL record size", telemetry.SizeBuckets),
+		CompactSeconds: r.Histogram("ctfl_store_compact_seconds", "snapshot publication + WAL reset time", nil),
+		Compactions:    r.Counter("ctfl_store_compactions_total", "snapshots published by Compact"),
+		ReplayEvents:   r.Counter("ctfl_store_replay_events_total", "events recovered on Open (snapshot + WAL)"),
+		ReplayTruncatedBytes: r.Counter("ctfl_store_replay_truncated_bytes_total",
+			"corrupt WAL tail bytes dropped during recovery"),
+		SnapshotFallbacks: r.Counter("ctfl_store_snapshot_fallbacks_total",
+			"unreadable snapshots skipped in favour of an older version"),
+		WALBytes:  r.Gauge("ctfl_store_wal_bytes", "current WAL length in bytes"),
+		WALEvents: r.Gauge("ctfl_store_wal_events", "events in the current WAL"),
+	}
+}

@@ -77,6 +77,9 @@ type Options struct {
 	// Logf receives recovery diagnostics (corruption truncation, snapshot
 	// fallback). Defaults to log.Printf.
 	Logf func(format string, args ...any)
+	// Obs receives store telemetry. Nil disables it (zero overhead beyond
+	// one pointer check per instrument).
+	Obs *Obs
 }
 
 // Store is a durable event log rooted at one data directory. All methods
@@ -110,6 +113,9 @@ func Open(dir string, opts Options) (*Store, []Event, error) {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
+	if opts.Obs == nil {
+		opts.Obs = &Obs{} // inert: every instrument is a nil-safe no-op
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
@@ -128,11 +134,13 @@ func Open(dir string, opts Options) (*Store, []Event, error) {
 	if fi, statErr := os.Stat(walPath); statErr == nil && fi.Size() > goodLen {
 		s.opts.Logf("store: wal corrupt after %d bytes (%d events recovered); truncating %d trailing bytes",
 			goodLen, len(walEvents), fi.Size()-goodLen)
+		s.opts.Obs.ReplayTruncatedBytes.Add(fi.Size() - goodLen)
 		if err := os.Truncate(walPath, goodLen); err != nil {
 			return nil, nil, fmt.Errorf("store: truncating corrupt wal: %w", err)
 		}
 	}
 	events = append(events, walEvents...)
+	s.opts.Obs.ReplayEvents.Add(int64(len(events)))
 
 	s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -140,6 +148,8 @@ func Open(dir string, opts Options) (*Store, []Event, error) {
 	}
 	s.walSize = goodLen
 	s.walEvents = int64(len(walEvents))
+	s.opts.Obs.WALBytes.Set(float64(s.walSize))
+	s.opts.Obs.WALEvents.Set(float64(s.walEvents))
 	return s, events, nil
 }
 
@@ -155,6 +165,7 @@ func (s *Store) loadSnapshot() ([]Event, error) {
 		events, err := readSnapshot(path)
 		if err != nil {
 			s.opts.Logf("store: snapshot %s unreadable (%v); trying previous", filepath.Base(path), err)
+			s.opts.Obs.SnapshotFallbacks.Inc()
 			continue
 		}
 		s.snapSeq = seqs[i]
@@ -295,6 +306,10 @@ func (s *Store) Append(ev Event) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
+	var t0 time.Time
+	if s.opts.Obs.AppendSeconds != nil {
+		t0 = time.Now()
+	}
 	rec := appendRecord(nil, ev)
 	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
@@ -306,6 +321,12 @@ func (s *Store) Append(ev Event) error {
 	}
 	s.walSize += int64(len(rec))
 	s.walEvents++
+	if s.opts.Obs.AppendSeconds != nil {
+		s.opts.Obs.AppendSeconds.ObserveSince(t0)
+		s.opts.Obs.AppendBytes.Observe(float64(len(rec)))
+		s.opts.Obs.WALBytes.Set(float64(s.walSize))
+		s.opts.Obs.WALEvents.Set(float64(s.walEvents))
+	}
 	return nil
 }
 
@@ -325,6 +346,10 @@ func (s *Store) Compact(events []Event) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("store: closed")
+	}
+	var t0 time.Time
+	if s.opts.Obs.CompactSeconds != nil {
+		t0 = time.Now()
 	}
 	seq := s.snapSeq + 1
 	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
@@ -369,6 +394,12 @@ func (s *Store) Compact(events []Event) error {
 		for _, old := range seqs[:len(seqs)-keepSnapshots] {
 			os.Remove(s.snapshotPath(old))
 		}
+	}
+	if s.opts.Obs.CompactSeconds != nil {
+		s.opts.Obs.CompactSeconds.ObserveSince(t0)
+		s.opts.Obs.Compactions.Inc()
+		s.opts.Obs.WALBytes.Set(0)
+		s.opts.Obs.WALEvents.Set(0)
 	}
 	return nil
 }

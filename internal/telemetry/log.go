@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+)
+
+type loggerCtxKey struct{}
+
+// WithLogger stamps a request-scoped logger into the context.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerCtxKey{}, l)
+}
+
+// LoggerFrom returns the context's logger, falling back to fallback and
+// then slog.Default. The result is never nil.
+func LoggerFrom(ctx context.Context, fallback *slog.Logger) *slog.Logger {
+	if l, ok := ctx.Value(loggerCtxKey{}).(*slog.Logger); ok {
+		return l
+	}
+	if fallback != nil {
+		return fallback
+	}
+	return slog.Default()
+}
+
+// logfHandler adapts a printf-style sink to slog.Handler — the
+// compatibility shim that lets legacy Logf options (server, store, tests
+// passing t.Logf) receive the unified structured log stream.
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs string // pre-rendered " k=v" pairs from WithAttrs
+	group string
+}
+
+// LogfLogger wraps a printf-style function as a *slog.Logger. Records
+// render as "LEVEL msg k=v k=v". A nil logf yields slog.Default().
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	if logf == nil {
+		return slog.Default()
+	}
+	return slog.New(&logfHandler{logf: logf})
+}
+
+func (h *logfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Level.String())
+	b.WriteByte(' ')
+	b.WriteString(r.Message)
+	b.WriteString(h.attrs)
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	var b strings.Builder
+	b.WriteString(h.attrs)
+	for _, a := range attrs {
+		writeAttr(&b, h.group, a)
+	}
+	return &logfHandler{logf: h.logf, attrs: b.String(), group: h.group}
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	g := name
+	if h.group != "" {
+		g = h.group + "." + name
+	}
+	return &logfHandler{logf: h.logf, attrs: h.attrs, group: g}
+}
+
+func writeAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	if group != "" {
+		b.WriteString(group)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	fmt.Fprintf(b, "%v", a.Value.Resolve().Any())
+}

@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Span is one timed operation in a hierarchical trace. Spans are created
+// with StartSpan and closed with End; children attach to the span carried
+// by the context. All methods are nil-safe, so un-instrumented call paths
+// (no SpanLog in the context) cost a pointer check and nothing else.
+type Span struct {
+	name  string
+	start time.Time
+	log   *SpanLog // root spans only: where the finished tree is published
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+type spanCtxKey struct{}
+type spanLogCtxKey struct{}
+type requestIDCtxKey struct{}
+
+// WithSpanLog arms a context for tracing: root spans started beneath it
+// publish their finished trees into l.
+func WithSpanLog(ctx context.Context, l *SpanLog) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanLogCtxKey{}, l)
+}
+
+// StartSpan opens a span named name. If the context already carries a
+// span, the new one is attached as its child; otherwise it becomes a root
+// that will publish to the context's SpanLog on End. Without either, the
+// context is returned unchanged with a nil span — tracing disabled.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	var log *SpanLog
+	if parent == nil {
+		log, _ = ctx.Value(spanLogCtxKey{}).(*SpanLog)
+		if log == nil {
+			return ctx, nil
+		}
+	}
+	s := &Span{name: name, start: time.Now(), log: log}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// SetAttr records a key/value attribute on the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Root spans publish their tree
+// to the SpanLog they were started under. End is idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.mu.Unlock()
+	if s.log != nil {
+		s.log.add(s)
+	}
+}
+
+// SpanView is the JSON shape of one span in a recorded trace tree.
+type SpanView struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanView     `json:"children,omitempty"`
+}
+
+// view snapshots the span subtree. Children that are still running (an
+// async child outliving its root) appear with their duration so far.
+func (s *Span) view() SpanView {
+	s.mu.Lock()
+	v := SpanView{Name: s.name, Start: s.start}
+	if s.ended {
+		v.DurationMS = float64(s.dur) / float64(time.Millisecond)
+	} else {
+		v.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		v.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			v.Attrs[a.Key] = a.Value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		v.Children = append(v.Children, c.view())
+	}
+	return v
+}
+
+// SpanLog is a bounded ring buffer of recently finished root spans.
+type SpanLog struct {
+	mu    sync.Mutex
+	buf   []*Span
+	next  int
+	total int64
+}
+
+// NewSpanLog returns a ring buffer holding the most recent capacity root
+// spans (default 64 when capacity <= 0).
+func NewSpanLog(capacity int) *SpanLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &SpanLog{buf: make([]*Span, capacity)}
+}
+
+func (l *SpanLog) add(s *Span) {
+	l.mu.Lock()
+	l.buf[l.next] = s
+	l.next = (l.next + 1) % len(l.buf)
+	l.total++
+	l.mu.Unlock()
+}
+
+// Total reports how many root spans have ever been recorded.
+func (l *SpanLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Recent returns up to n recent trace trees, newest first (n <= 0 means
+// everything retained).
+func (l *SpanLog) Recent(n int) []SpanView {
+	l.mu.Lock()
+	var roots []*Span
+	for i := 1; i <= len(l.buf); i++ {
+		s := l.buf[(l.next-i+len(l.buf))%len(l.buf)]
+		if s == nil {
+			break
+		}
+		roots = append(roots, s)
+		if n > 0 && len(roots) == n {
+			break
+		}
+	}
+	l.mu.Unlock()
+	out := make([]SpanView, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.view())
+	}
+	return out
+}
+
+// NewRequestID returns a 16-hex-char random request identifier.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a fixed id
+		// keeps telemetry non-fatal.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID stamps a request identifier into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// RequestIDFrom returns the context's request id, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDCtxKey{}).(string)
+	return id
+}

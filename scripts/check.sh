@@ -15,14 +15,23 @@ go build ./...
 echo "== go test -race (hot paths: nn, core, bitset)"
 go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/...
 
-echo "== go test -race (service layer: store, jobs, server)"
-go test -race ./internal/store/... ./internal/jobs/... ./internal/server/...
+echo "== go test -race (service layer: store, jobs, server, telemetry)"
+go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/...
 
 echo "== go test ./... (full suite)"
 go test ./...
 
+echo "== zero-alloc pin (training hot loop with telemetry disabled)"
+go test -run=TestTrainInnerLoopZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'PASS|FAIL|allocates'
+
 echo "== bench smoke (1 iteration per hot-path benchmark)"
 go test -run=NONE -bench='BenchmarkTraceIndexed|BenchmarkTrainEpochs' -benchtime=1x \
     ./internal/core/ ./internal/nn/
+
+echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
+tmpbin="$(mktemp -d)"
+trap 'rm -rf "$tmpbin"' EXIT
+go build -o "$tmpbin/ctflsrv" ./cmd/ctflsrv
+go run ./scripts/metricsmoke -bin "$tmpbin/ctflsrv"
 
 echo "OK: all checks passed"

@@ -1,0 +1,158 @@
+// Command metricsmoke is the check.sh observability smoke test: it boots a
+// ctflsrv binary on an ephemeral port, scrapes GET /metrics, verifies every
+// required metric family is exposed, checks /v1/traces/recent records the
+// scrape itself, and shuts the server down gracefully via SIGTERM.
+//
+// Usage: metricsmoke -bin ./path/to/ctflsrv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// requiredFamilies is the metric catalog contract: one representative name
+// per instrumented subsystem (HTTP routes, job engine, durable store,
+// tracer, and training).
+var requiredFamilies = []string{
+	"ctfl_http_requests_total",
+	"ctfl_http_request_seconds",
+	"ctfl_http_in_flight",
+	"ctfl_jobs_submitted_total",
+	"ctfl_jobs_queue_depth",
+	"ctfl_jobs_wait_seconds",
+	"ctfl_store_append_seconds",
+	"ctfl_store_wal_bytes",
+	"ctfl_tracer_queries_total",
+	"ctfl_tracer_trace_seconds",
+	"ctfl_train_epochs_total",
+	"ctfl_train_epoch_seconds",
+}
+
+func main() {
+	bin := flag.String("bin", "", "path to the ctflsrv binary")
+	timeout := flag.Duration("timeout", 20*time.Second, "overall smoke deadline")
+	flag.Parse()
+	if *bin == "" {
+		fatalf("metricsmoke: -bin is required")
+	}
+
+	cmd := exec.Command(*bin, "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fatalf("metricsmoke: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("metricsmoke: starting %s: %v", *bin, err)
+	}
+	defer cmd.Process.Kill() // no-op after a clean wait
+
+	addr, logTail, err := awaitListening(stderr, *timeout)
+	if err != nil {
+		fatalf("metricsmoke: %v\n--- server log ---\n%s", err, logTail)
+	}
+	fmt.Printf("metricsmoke: server up at %s\n", addr)
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	base := "http://" + addr
+	body := get(base + "/healthz")
+	if !strings.Contains(body, `"ok":true`) {
+		fatalf("metricsmoke: /healthz not ok: %s", body)
+	}
+
+	metrics := get(base + "/metrics")
+	var missing []string
+	for _, name := range requiredFamilies {
+		if !strings.Contains(metrics, name) {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatalf("metricsmoke: /metrics missing families: %s", strings.Join(missing, ", "))
+	}
+	fmt.Printf("metricsmoke: /metrics exposes all %d required families\n", len(requiredFamilies))
+
+	traces := get(base + "/v1/traces/recent")
+	if !strings.Contains(traces, "http /healthz") && !strings.Contains(traces, "http /metrics") {
+		fatalf("metricsmoke: /v1/traces/recent recorded no request spans: %s", traces)
+	}
+	fmt.Println("metricsmoke: /v1/traces/recent records request spans")
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatalf("metricsmoke: signalling server: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatalf("metricsmoke: server exited uncleanly: %v", err)
+		}
+	case <-time.After(*timeout):
+		fatalf("metricsmoke: server did not drain within %s", *timeout)
+	}
+	fmt.Println("metricsmoke: OK")
+}
+
+// awaitListening scans the server's log for the startup line and extracts
+// the bound address from its addr= field.
+func awaitListening(r io.Reader, timeout time.Duration) (addr, tail string, err error) {
+	type result struct{ addr, tail string }
+	found := make(chan result, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			line := sc.Text()
+			lines = append(lines, line)
+			if !strings.Contains(line, "ctflsrv listening on") {
+				continue
+			}
+			for _, f := range strings.Fields(line) {
+				if a, ok := strings.CutPrefix(f, "addr="); ok {
+					found <- result{addr: a, tail: strings.Join(lines, "\n")}
+					return
+				}
+			}
+		}
+		found <- result{tail: strings.Join(lines, "\n")}
+	}()
+	select {
+	case res := <-found:
+		if res.addr == "" {
+			return "", res.tail, fmt.Errorf("startup line with addr= never appeared")
+		}
+		return res.addr, res.tail, nil
+	case <-time.After(timeout):
+		return "", "", fmt.Errorf("no startup line within %s", timeout)
+	}
+}
+
+func get(url string) string {
+	resp, err := http.Get(url)
+	if err != nil {
+		fatalf("metricsmoke: GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("metricsmoke: GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("metricsmoke: GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
