@@ -24,7 +24,11 @@ import (
 // benchEntry is one benchmark's measurement (and, when a baseline was
 // supplied, its before/after comparison).
 type benchEntry struct {
-	Name     string  `json:"name"`
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran under (the -N suffix go
+	// test appends); 1 when the suffix is absent. Parallel-engine numbers
+	// are only comparable across machines alongside this.
+	Procs    int     `json:"procs,omitempty"`
 	NsOp     float64 `json:"ns_op"`
 	BytesOp  float64 `json:"bytes_op,omitempty"`
 	AllocsOp float64 `json:"allocs_op,omitempty"`
@@ -41,21 +45,23 @@ type benchReport struct {
 	Generated  string       `json:"generated"`
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
 	Bench      string       `json:"bench_regex"`
 	Packages   []string     `json:"packages"`
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
-// defaultBenchRegex covers the hot paths the performance overhaul targets:
-// tracing (construction + queries), NN training and batch inference, and
-// the end-to-end Table II pipeline.
+// defaultBenchRegex covers the hot paths the performance overhauls target:
+// tracing (construction + queries), NN training and batch inference, the
+// end-to-end Table II pipeline, and the parallel coalition-valuation engine.
 const defaultBenchRegex = "BenchmarkTrace|BenchmarkNewTracer|BenchmarkTrainEpochs|" +
-	"BenchmarkPredictBatch|BenchmarkScoreAndActivations|BenchmarkTable2|BenchmarkTracingThroughput"
+	"BenchmarkPredictBatch|BenchmarkScoreAndActivations|BenchmarkTable2|BenchmarkTracingThroughput|" +
+	"BenchmarkOracleBatch|BenchmarkSampledShapleyParallel"
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	benchRe := fs.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
-	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,.", "comma-separated packages to benchmark")
+	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,./internal/valuation/,.", "comma-separated packages to benchmark")
 	before := fs.String("before", "", "comma-separated files or globs of saved `go test -bench` output to compare against")
 	out := fs.String("o", "", "write the JSON report here (default: stdout)")
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 2s, 100x)")
@@ -139,6 +145,7 @@ func cmdBench(args []string) error {
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Bench:      *benchRe,
 		Packages:   pkgList,
 		Benchmarks: entries,
@@ -163,9 +170,9 @@ func cmdBench(args []string) error {
 //
 //	BenchmarkTraceIndexed-8   132   8891909 ns/op   2654486 B/op   6566 allocs/op
 //
-// The -N GOMAXPROCS suffix is stripped so baselines recorded on a different
-// core count still join by name.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// The -N GOMAXPROCS suffix is recorded as Procs but stripped from the name,
+// so baselines recorded on a different core count still join by name.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func parseBenchOutput(out string) []benchEntry {
 	var entries []benchEntry
@@ -176,11 +183,14 @@ func parseBenchOutput(out string) []benchEntry {
 		if m == nil {
 			continue
 		}
-		e := benchEntry{Name: m[1]}
-		e.NsOp, _ = strconv.ParseFloat(m[2], 64)
-		if m[3] != "" {
-			e.BytesOp, _ = strconv.ParseFloat(m[3], 64)
-			e.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		e := benchEntry{Name: m[1], Procs: 1}
+		if m[2] != "" {
+			e.Procs, _ = strconv.Atoi(m[2])
+		}
+		e.NsOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			e.BytesOp, _ = strconv.ParseFloat(m[4], 64)
+			e.AllocsOp, _ = strconv.ParseFloat(m[5], 64)
 		}
 		if i, ok := seen[e.Name]; ok {
 			n := float64(counts[e.Name])

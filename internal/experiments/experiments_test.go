@@ -266,7 +266,10 @@ func TestAttachOracleSharesCache(t *testing.T) {
 		t.Skip("training test")
 	}
 	s := tinySetup(t, false)
-	oracle := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	oracle, err := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	schemes := s.Schemes(false) // Individual + LOO + CTFL×2
 	AttachOracle(schemes, oracle)
 	for _, sc := range schemes {
@@ -277,8 +280,8 @@ func TestAttachOracleSharesCache(t *testing.T) {
 	// Individual needs the n singletons, LOO needs full + n leave-outs:
 	// 2n+1 distinct coalitions when shared (CTFL trains outside the oracle).
 	want := 2*len(s.Parts) + 1
-	if oracle.Evals != want {
-		t.Fatalf("shared oracle evals = %d, want %d", oracle.Evals, want)
+	if oracle.Evals() != want {
+		t.Fatalf("shared oracle evals = %d, want %d", oracle.Evals(), want)
 	}
 }
 

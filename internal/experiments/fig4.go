@@ -40,7 +40,10 @@ func RunFig4(s *Setup, topK int, includeExpensive bool) (*Fig4Result, error) {
 	if topK <= 0 || topK >= len(s.Parts) {
 		topK = min(5, len(s.Parts)-1)
 	}
-	oracle := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	oracle, err := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	if err != nil {
+		return nil, err
+	}
 	full := fullMask(len(s.Parts))
 
 	res := &Fig4Result{Workload: s.Workload}
@@ -48,30 +51,46 @@ func RunFig4(s *Setup, topK int, includeExpensive bool) (*Fig4Result, error) {
 	// The participant list is fixed for the whole experiment, so every
 	// baseline and every removal retraining can share one coalition cache.
 	AttachOracle(schemes, oracle)
-	for _, scheme := range schemes {
+	// Each (scheme, curve) cell is independent given the shared oracle, so
+	// the cells run concurrently; the oracle's in-flight dedup keeps each
+	// distinct coalition trained once even when methods agree on removal
+	// order, and per-index writes keep the output order deterministic.
+	res.Methods = make([]MethodCurve, len(schemes))
+	err = forEachCell(len(schemes), func(ci int) error {
+		scheme := schemes[ci]
 		scores, err := scheme.Scores(s.Parts, s.Test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", scheme.Name(), err)
+			return fmt.Errorf("experiments: %s: %w", scheme.Name(), err)
 		}
 		mc := MethodCurve{Name: scheme.Name(), Scores: scores}
 		order := stats.ArgsortDesc(scores)
+		// The removal masks are a function of the scores alone, so the
+		// cell's whole trajectory can be batch-trained before reading it.
 		mask := full
-		acc, err := oracle.Utility(mask)
-		if err != nil {
-			return nil, err
-		}
-		mc.Curve = append(mc.Curve, acc)
+		plan := []uint64{mask}
 		for k := 0; k < topK; k++ {
 			mask &^= 1 << uint(order[k])
-			mc.Removed = append(mc.Removed, order[k])
-			acc, err := oracle.Utility(mask)
+			plan = append(plan, mask)
+		}
+		if err := oracle.EvalBatch(plan); err != nil {
+			return err
+		}
+		for k, m := range plan {
+			acc, err := oracle.Utility(m)
 			if err != nil {
-				return nil, err
+				return err
+			}
+			if k > 0 {
+				mc.Removed = append(mc.Removed, order[k-1])
 			}
 			mc.Curve = append(mc.Curve, acc)
 		}
 		mc.AUC = stats.AUC(mc.Curve)
-		res.Methods = append(res.Methods, mc)
+		res.Methods[ci] = mc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -152,10 +171,3 @@ func curveHeader(n int) []string {
 }
 
 func fullMask(n int) uint64 { return (1 << uint(n)) - 1 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -84,15 +84,29 @@ func RunFig6(s *Setup, numModified int, includeExpensive bool) (*Fig6Result, err
 
 	schemes := s.Schemes(includeExpensive)
 	// Baseline scores once per scheme, sharing one coalition cache (the
-	// participant list is the honest one for every baseline score).
-	AttachOracle(schemes, valuation.NewOracle(s.Trainer, s.Parts, s.Test))
-	base := make(map[string][]float64, len(schemes))
-	for _, scheme := range schemes {
-		sc, err := scheme.Scores(s.Parts, s.Test)
+	// participant list is the honest one for every baseline score). Scheme
+	// cells run concurrently; the shared oracle's in-flight dedup keeps
+	// every distinct coalition trained once across them.
+	oracle, err := valuation.NewOracle(s.Trainer, s.Parts, s.Test)
+	if err != nil {
+		return nil, err
+	}
+	AttachOracle(schemes, oracle)
+	baseScores := make([][]float64, len(schemes))
+	err = forEachCell(len(schemes), func(ci int) error {
+		sc, err := schemes[ci].Scores(s.Parts, s.Test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline %s: %w", scheme.Name(), err)
+			return fmt.Errorf("experiments: baseline %s: %w", schemes[ci].Name(), err)
 		}
-		base[scheme.Name()] = sc
+		baseScores[ci] = sc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := make(map[string][]float64, len(schemes))
+	for ci, scheme := range schemes {
+		base[scheme.Name()] = baseScores[ci]
 	}
 
 	res := &Fig6Result{Workload: s.Workload}
@@ -102,12 +116,18 @@ func RunFig6(s *Setup, numModified int, includeExpensive bool) (*Fig6Result, err
 			parts = fl.ReplaceParticipant(parts, applyBehaviour(b, s.Parts[vi], ratios[j], r))
 		}
 		// Re-point the shared cache at the modified participant list.
-		AttachOracle(schemes, valuation.NewOracle(s.Trainer, parts, s.Test))
+		behaviourOracle, err := valuation.NewOracle(s.Trainer, parts, s.Test)
+		if err != nil {
+			return nil, err
+		}
+		AttachOracle(schemes, behaviourOracle)
 		row := Fig6Row{Behaviour: b, Modified: victims, Ratios: ratios}
-		for _, scheme := range schemes {
+		row.Methods = make([]MethodRobustness, len(schemes))
+		err = forEachCell(len(schemes), func(ci int) error {
+			scheme := schemes[ci]
 			after, err := scheme.Scores(parts, s.Test)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s under %s: %w", scheme.Name(), b, err)
+				return fmt.Errorf("experiments: %s under %s: %w", scheme.Name(), b, err)
 			}
 			m := MethodRobustness{Name: scheme.Name()}
 			for _, vi := range victims {
@@ -116,7 +136,11 @@ func RunFig6(s *Setup, numModified int, includeExpensive bool) (*Fig6Result, err
 				m.Changes = append(m.Changes, change)
 			}
 			m.MeanChange = stats.Mean(m.Changes)
-			row.Methods = append(row.Methods, m)
+			row.Methods[ci] = m
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, row)
 	}

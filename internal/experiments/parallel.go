@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachCell runs f(0..n-1) concurrently, bounded by GOMAXPROCS, and
+// returns the first error by cell index (deterministic regardless of
+// scheduling). Experiment cells — one scheme's scores, one behaviour's
+// row — are independent given the shared coalition oracle: the oracle's
+// in-flight dedup guarantees each distinct coalition still trains once, and
+// every cell writes only its own index, so results are bit-identical to the
+// sequential loop.
+func forEachCell(n int, f func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -69,7 +69,10 @@ func RunTable2(seed int64) (*Table2Result, error) {
 		Rounds: 8, LocalEpochs: 20, Parallel: true,
 		Model: nn.Config{Hidden: []int{64}, Grafting: true, Seed: seed + 1, L1Logic: 2e-4, L2Head: 1e-3, KeepBest: true},
 	})
-	oracle := valuation.NewOracle(trainer, parts, test)
+	oracle, err := valuation.NewOracle(trainer, parts, test)
+	if err != nil {
+		return nil, err
+	}
 
 	labels := map[uint64]string{
 		0b000: "∅", 0b001: "A", 0b010: "B", 0b100: "C",
@@ -86,6 +89,13 @@ func RunTable2(seed int64) (*Table2Result, error) {
 		}
 		return masks[a] < masks[b]
 	})
+	// The full coalition lattice is known up front (every scheme below
+	// reads from it), so train all seven non-empty coalitions as one
+	// parallel batch; the presentation loop and the scheme derivations then
+	// run against a warm cache.
+	if err := oracle.EvalBatch(masks); err != nil {
+		return nil, err
+	}
 	for _, m := range masks {
 		u, err := oracle.Utility(m)
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
@@ -45,13 +46,19 @@ func (c TrainConfig) withDefaults() TrainConfig {
 // Trainer runs FedAvg over participants using a fixed encoder (the
 // federation-agreed predicate encoding). It caches each participant's
 // encoded data by pointer identity, so repeated coalition training (the
-// baselines' hot loop) does not re-encode.
+// baselines' hot loop) does not re-encode. Trainer is safe for concurrent
+// use: Train carries no cross-call mutable state beyond this cache, and the
+// cache deduplicates in-flight encodes (two goroutines training coalitions
+// that share a participant encode it once; the second waits).
 type Trainer struct {
 	enc *dataset.Encoder
 	cfg TrainConfig
 
 	mu    sync.Mutex
-	cache map[*Participant]encoded
+	cache map[*Participant]*encodeEntry
+	// encodes counts distinct EncodeTable executions; tests pin it to the
+	// participant count to prove the in-flight dedup works.
+	encodes atomic.Int64
 }
 
 type encoded struct {
@@ -59,9 +66,17 @@ type encoded struct {
 	y []int
 }
 
+// encodeEntry is one participant's encode slot: the sync.Once is the
+// in-flight dedup (first goroutine encodes, concurrent ones block until the
+// result is published).
+type encodeEntry struct {
+	once sync.Once
+	e    encoded
+}
+
 // NewTrainer creates a FedAvg trainer bound to an encoder.
 func NewTrainer(enc *dataset.Encoder, cfg TrainConfig) *Trainer {
-	return &Trainer{enc: enc, cfg: cfg.withDefaults(), cache: make(map[*Participant]encoded)}
+	return &Trainer{enc: enc, cfg: cfg.withDefaults(), cache: make(map[*Participant]*encodeEntry)}
 }
 
 // Encoder returns the federation's shared encoder.
@@ -71,19 +86,23 @@ func (tr *Trainer) Encoder() *dataset.Encoder { return tr.enc }
 func (tr *Trainer) Config() TrainConfig { return tr.cfg }
 
 // encodedData returns (and caches) the encoded form of p's local data.
+// Concurrent callers for the same participant encode once: the entry is
+// claimed under the lock, the (expensive) encode runs outside it, and
+// late arrivals block in once.Do until the result is published.
 func (tr *Trainer) encodedData(p *Participant) encoded {
 	tr.mu.Lock()
-	e, ok := tr.cache[p]
-	tr.mu.Unlock()
-	if ok {
-		return e
+	ent, ok := tr.cache[p]
+	if !ok {
+		ent = &encodeEntry{}
+		tr.cache[p] = ent
 	}
-	x, y := tr.enc.EncodeTable(p.Data)
-	e = encoded{x: x, y: y}
-	tr.mu.Lock()
-	tr.cache[p] = e
 	tr.mu.Unlock()
-	return e
+	ent.once.Do(func() {
+		x, y := tr.enc.EncodeTable(p.Data)
+		ent.e = encoded{x: x, y: y}
+		tr.encodes.Add(1)
+	})
+	return ent.e
 }
 
 // Train runs FedAvg over the given participants and returns the final global

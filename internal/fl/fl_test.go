@@ -2,6 +2,7 @@ package fl
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/dataset"
@@ -278,6 +279,96 @@ func TestTrainerCacheReuse(t *testing.T) {
 	e2 := tr.encodedData(p)
 	if &e1.x[0][0] != &e2.x[0][0] {
 		t.Fatal("encoded data not cached")
+	}
+}
+
+func TestEncodedDataConcurrentDedup(t *testing.T) {
+	tab := dataset.TicTacToe()
+	enc, err := dataset.NewEncoder(tab.Schema, 5, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(enc, TrainConfig{Rounds: 1, LocalEpochs: 1, Model: nn.Config{Hidden: []int{4}}})
+	p := &Participant{ID: 0, Name: "A", Data: tab}
+	const callers = 32
+	results := make([]encoded, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = tr.encodedData(p)
+		}(i)
+	}
+	wg.Wait()
+	if got := tr.encodes.Load(); got != 1 {
+		t.Fatalf("%d concurrent callers ran %d encodes, want 1", callers, got)
+	}
+	for i := 1; i < callers; i++ {
+		if &results[i].x[0][0] != &results[0].x[0][0] {
+			t.Fatalf("caller %d got a different encoding", i)
+		}
+	}
+}
+
+func TestTrainConcurrentCoalitionsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	tab := dataset.TicTacToe().Subset(seq(200))
+	r := stats.NewRNG(9)
+	enc, err := dataset.NewEncoder(tab.Schema, 5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := PartitionSkewSample(tab, 4, 1, r)
+	tr := NewTrainer(enc, TrainConfig{
+		Rounds: 1, LocalEpochs: 2, Parallel: true,
+		Model: nn.Config{Hidden: []int{8}, Grafting: true, Seed: 3, BatchSize: 64},
+	})
+	coalitions := [][]*Participant{
+		parts[:1], parts[:2], parts[1:3], parts,
+	}
+	// Sequential reference params per coalition, on a fresh trainer so the
+	// concurrent run below starts from a cold encode cache too.
+	ref := make([][]float64, len(coalitions))
+	refTr := NewTrainer(enc, tr.Config())
+	for i, c := range coalitions {
+		m, err := refTr.Train(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = m.Params()
+	}
+	got := make([][]float64, len(coalitions))
+	errs := make([]error, len(coalitions))
+	var wg sync.WaitGroup
+	for i, c := range coalitions {
+		wg.Add(1)
+		go func(i int, c []*Participant) {
+			defer wg.Done()
+			m, err := tr.Train(c)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = m.Params()
+		}(i, c)
+	}
+	wg.Wait()
+	for i := range coalitions {
+		if errs[i] != nil {
+			t.Fatalf("coalition %d: %v", i, errs[i])
+		}
+		if len(got[i]) != len(ref[i]) {
+			t.Fatalf("coalition %d: %d params, want %d", i, len(got[i]), len(ref[i]))
+		}
+		for j := range got[i] {
+			if got[i][j] != ref[i][j] {
+				t.Fatalf("coalition %d param %d differs under concurrency: %v vs %v",
+					i, j, got[i][j], ref[i][j])
+			}
+		}
 	}
 }
 

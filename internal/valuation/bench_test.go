@@ -1,0 +1,72 @@
+package valuation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The engine benchmarks model a coalition training as a fixed-latency call
+// (an FL client round-trip plus a small deterministic utility computation)
+// so they measure the batching/dedup/scheduling machinery rather than
+// FedAvg's CPU cost. Latency-bound work overlaps even on a single core,
+// which is exactly the regime the worker pool targets: in a real
+// federation the oracle waits on clients, not on local arithmetic.
+const benchTrainLatency = time.Millisecond
+
+func benchTrainFn(mask uint64) (float64, error) {
+	time.Sleep(benchTrainLatency)
+	return syntheticUtility(mask)
+}
+
+// BenchmarkOracleBatch times one cold EvalBatch over the Individual +
+// LeaveOneOut plans (33 distinct coalitions at n=16) at several worker
+// counts. The workers=1 case is the sequential baseline the parallel runs
+// are compared against.
+func BenchmarkOracleBatch(b *testing.B) {
+	const n = 16
+	plan := append(PlanIndividual(n), PlanLeaveOneOut(n)...)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := newSyntheticOracle(n, benchTrainFn)
+				o.Workers = workers
+				if err := o.EvalBatch(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSampledShapleyParallel times a full truncated-Monte-Carlo
+// Shapley estimate (8 permutations over 12 participants) against a cold
+// oracle, with the permutation walkers and the prefix warm-up batch
+// running at several worker counts. Scores are bit-identical across the
+// sub-benchmarks (see TestSampledShapleyMatchesLegacySequential); only
+// the wall clock changes.
+func BenchmarkSampledShapleyParallel(b *testing.B) {
+	const (
+		n     = 12
+		perms = 8
+	)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := newSyntheticOracle(n, benchTrainFn)
+				o.Workers = workers
+				_, err := SampledShapley(n, o.Utility, ShapleyConfig{
+					Permutations: perms,
+					Rand:         stats.NewRNG(7),
+					Workers:      workers,
+					Warm:         o.EvalBatch,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

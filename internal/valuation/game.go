@@ -13,6 +13,8 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/lp"
 )
@@ -23,8 +25,11 @@ type Utility func(mask uint64) (float64, error)
 
 // fullMask returns the grand-coalition mask for n participants.
 func fullMask(n int) uint64 {
-	if n >= 64 {
-		panic("valuation: more than 63 participants unsupported")
+	if n > MaxParticipants {
+		panic("valuation: more than 64 participants unsupported")
+	}
+	if n == MaxParticipants {
+		return ^uint64(0)
 	}
 	return (1 << uint(n)) - 1
 }
@@ -111,21 +116,45 @@ type ShapleyConfig struct {
 	// permutation: once the running coalition's utility is within this
 	// distance of v(D_N), the remaining marginals are taken as zero.
 	TruncationEps float64
-	// Rand drives permutation sampling; required.
+	// Rand drives permutation sampling; required. All permutations are
+	// drawn up front (the utility function never consumes Rand, so the
+	// drawn sequence is identical to the historical interleaved draws).
 	Rand *rand.Rand
+	// Workers is the number of permutations walked concurrently; 0 or 1
+	// walks them sequentially. The estimate is bit-identical for every
+	// worker count: each permutation walk is self-contained (truncation
+	// depends only on its own running utility), per-walk marginals are
+	// recorded in walk order, and the reduction replays them in permutation
+	// order. Only use Workers > 1 with a concurrency-safe utility (Oracle).
+	Workers int
+	// Warm, when non-nil, receives the non-speculative mask plan (empty,
+	// grand, and depth-1 permutation prefixes) before walking so a batching
+	// oracle can train them concurrently. Oracle.EvalBatch fits.
+	Warm func([]uint64) error
 }
 
 // SampledShapley estimates the Shapley value by Monte-Carlo permutation
-// sampling with truncation.
+// sampling with truncation. With cfg.Workers > 1 the sampled permutations
+// are walked concurrently against a shared (deduplicating) utility; the
+// result is bit-identical to the sequential walk.
 func SampledShapley(n int, v Utility, cfg ShapleyConfig) ([]float64, error) {
 	if cfg.Rand == nil {
 		return nil, fmt.Errorf("valuation: SampledShapley needs a Rand")
 	}
-	perms := cfg.Permutations
-	if perms <= 0 {
-		perms = int(math.Ceil(float64(n) * math.Log2(float64(n)+1)))
-		if perms < 2 {
-			perms = 2
+	nperm := cfg.Permutations
+	if nperm <= 0 {
+		nperm = int(math.Ceil(float64(n) * math.Log2(float64(n)+1)))
+		if nperm < 2 {
+			nperm = 2
+		}
+	}
+	perms := make([][]int, nperm)
+	for p := range perms {
+		perms[p] = cfg.Rand.Perm(n)
+	}
+	if cfg.Warm != nil {
+		if err := cfg.Warm(PlanPermutationPrefixes(n, perms, 1)); err != nil {
+			return nil, err
 		}
 	}
 	full := fullMask(n)
@@ -137,31 +166,86 @@ func SampledShapley(n int, v Utility, cfg ShapleyConfig) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
-	for p := 0; p < perms; p++ {
-		order := cfg.Rand.Perm(n)
+
+	// One permutation's walk: marginals recorded in walk order. Truncated
+	// tails record nothing, exactly like the sequential accumulation (which
+	// never added a zero term for them).
+	type step struct {
+		idx   int
+		delta float64
+	}
+	walks := make([][]step, nperm)
+	walk := func(p int) error {
+		order := perms[p]
+		steps := make([]step, 0, n)
 		mask := uint64(0)
 		prev := vEmpty
-		truncated := false
 		for _, i := range order {
-			if truncated {
-				// Remaining marginals are treated as zero.
-				continue
-			}
 			mask |= 1 << uint(i)
 			cur, err := v(mask)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out[i] += cur - prev
+			steps = append(steps, step{idx: i, delta: cur - prev})
 			prev = cur
 			if cfg.TruncationEps > 0 && math.Abs(vFull-cur) < cfg.TruncationEps {
-				truncated = true
+				break
+			}
+		}
+		walks[p] = steps
+		return nil
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nperm {
+		workers = nperm
+	}
+	if workers == 1 {
+		for p := 0; p < nperm; p++ {
+			if err := walk(p); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		errs := make([]error, nperm)
+		var wg sync.WaitGroup
+		next := int64(-1)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					p := int(atomic.AddInt64(&next, 1))
+					if p >= nperm {
+						return
+					}
+					errs[p] = walk(p)
+				}
+			}()
+		}
+		wg.Wait()
+		// Deterministic error reporting: earliest failing permutation wins.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
 			}
 		}
 	}
+
+	// Reduce in permutation order, replaying marginals in walk order — the
+	// float additions happen in exactly the sequence the sequential
+	// implementation performed them, so the sums are bit-identical.
+	out := make([]float64, n)
+	for p := 0; p < nperm; p++ {
+		for _, s := range walks[p] {
+			out[s.idx] += s.delta
+		}
+	}
 	for i := range out {
-		out[i] /= float64(perms)
+		out[i] /= float64(nperm)
 	}
 	return out, nil
 }
@@ -173,6 +257,13 @@ type LeastCoreConfig struct {
 	Samples int
 	// Rand drives coalition sampling; required.
 	Rand *rand.Rand
+	// Warm, when non-nil, receives every sampled constraint mask (plus the
+	// grand coalition) before the LP rows are built, so a batching oracle
+	// can train them concurrently. Coalition sampling never consults the
+	// utility, so the plan is complete up front and the LP — built
+	// sequentially in sample order from the warm cache — is bit-identical
+	// to the unbatched path. Oracle.EvalBatch fits.
+	Warm func([]uint64) error
 }
 
 // SampledLeastCore solves the least-core LP of Eq. 2 over sampled coalition
@@ -187,11 +278,6 @@ func SampledLeastCore(n int, v Utility, cfg LeastCoreConfig) ([]float64, error) 
 		samples = int(math.Ceil(float64(n) * float64(n) * math.Log2(float64(n)+1)))
 	}
 	full := fullMask(n)
-	vFull, err := v(full)
-	if err != nil {
-		return nil, err
-	}
-
 	seen := map[uint64]bool{}
 	var masks []uint64
 	// Always include the singleton coalitions: they anchor individual
@@ -213,6 +299,15 @@ func SampledLeastCore(n int, v Utility, cfg LeastCoreConfig) ([]float64, error) 
 		}
 		seen[m] = true
 		masks = append(masks, m)
+	}
+	if cfg.Warm != nil {
+		if err := cfg.Warm(append([]uint64{full}, masks...)); err != nil {
+			return nil, err
+		}
+	}
+	vFull, err := v(full)
+	if err != nil {
+		return nil, err
 	}
 
 	// Variables: phi_0..phi_{n-1}, e. All free.

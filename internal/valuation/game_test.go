@@ -236,11 +236,11 @@ func TestUtilityErrorsPropagate(t *testing.T) {
 	}
 }
 
-func TestFullMaskPanicsAt64(t *testing.T) {
+func TestFullMaskPanicsAbove64(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic at n=64")
+			t.Fatal("expected panic at n=65")
 		}
 	}()
-	fullMask(64)
+	fullMask(65)
 }

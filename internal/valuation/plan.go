@@ -1,0 +1,57 @@
+package valuation
+
+// Batch planning: each scheme can pre-enumerate the coalition masks it will
+// touch and submit them to Oracle.EvalBatch as one deduplicated parallel
+// batch, so the combinatorial part of the baselines becomes embarrassingly
+// parallel while the scheme's own arithmetic stays sequential and
+// deterministic against a warm cache.
+//
+// Plans are allowed to overlap (the oracle deduplicates) but must never be
+// speculative where the scheme's semantics forbid it: truncated Monte-Carlo
+// Shapley only plans the permutation prefixes that are guaranteed to be
+// evaluated regardless of where truncation strikes (see
+// PlanPermutationPrefixes).
+
+// PlanIndividual lists the masks the Individual scheme needs: the n
+// singleton coalitions.
+func PlanIndividual(n int) []uint64 {
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, 1<<uint(i))
+	}
+	return out
+}
+
+// PlanLeaveOneOut lists the masks the LeaveOneOut scheme needs: the grand
+// coalition plus the n leave-one-out coalitions.
+func PlanLeaveOneOut(n int) []uint64 {
+	full := fullMask(n)
+	out := make([]uint64, 0, n+1)
+	out = append(out, full)
+	for i := 0; i < n; i++ {
+		out = append(out, full&^(1<<uint(i)))
+	}
+	return out
+}
+
+// PlanPermutationPrefixes lists the prefix-coalition masks of the sampled
+// permutations up to the given depth (number of leading elements), plus the
+// empty and grand coalitions every permutation walk consults. Depth 1 is
+// the largest non-speculative plan under truncation: the first marginal of
+// a permutation is always evaluated, while whether prefix k+1 is evaluated
+// depends on the utility of prefix k (GTG-Shapley truncation). Planning
+// deeper would risk training coalitions a truncated walk never asks for.
+func PlanPermutationPrefixes(n int, perms [][]int, depth int) []uint64 {
+	out := []uint64{0, fullMask(n)}
+	if depth <= 0 {
+		return out
+	}
+	for _, order := range perms {
+		mask := uint64(0)
+		for k := 0; k < depth && k < len(order); k++ {
+			mask |= 1 << uint(order[k])
+			out = append(out, mask)
+		}
+	}
+	return out
+}

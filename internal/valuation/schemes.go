@@ -1,12 +1,20 @@
 package valuation
 
 import (
-	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/dataset"
 	"repro/internal/fl"
 )
+
+// schemeWorkers resolves a scheme's Workers field: 0 means GOMAXPROCS.
+func schemeWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Scheme is the common face of every contribution estimator in this
 // repository (the four baselines here and core.Scheme for CTFL): given the
@@ -17,83 +25,28 @@ type Scheme interface {
 	Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error)
 }
 
-// Oracle memoizes coalition utilities: each distinct coalition is trained
-// (FedAvg over its members) and evaluated once. This is the black-box
-// retraining loop that makes the combinatorial baselines expensive — CTFL's
-// whole point is to avoid it.
-type Oracle struct {
-	trainer *fl.Trainer
-	parts   []*fl.Participant
-	test    *dataset.Table
-
-	cache map[uint64]float64
-	// Evals counts actual trainings performed (cache misses).
-	Evals int
-	// EmptyUtility is v(∅); defaults to majority-class accuracy on the test
-	// set (the best label-only guess, ~50% on balanced tasks as in the
-	// paper's Table II).
-	EmptyUtility float64
-}
-
-// NewOracle builds a memoizing utility oracle over a fixed participant list.
-func NewOracle(trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table) *Oracle {
-	pos := 0
-	for _, in := range test.Instances {
-		if in.Label == 1 {
-			pos++
-		}
-	}
-	maj := float64(pos) / float64(max(1, test.Len()))
-	if maj < 0.5 {
-		maj = 1 - maj
-	}
-	return &Oracle{
-		trainer:      trainer,
-		parts:        parts,
-		test:         test,
-		cache:        map[uint64]float64{},
-		EmptyUtility: maj,
-	}
-}
-
-// Utility returns v(D_S) for the coalition mask, training at most once per
-// distinct coalition.
-func (o *Oracle) Utility(mask uint64) (float64, error) {
-	if mask == 0 {
-		return o.EmptyUtility, nil
-	}
-	if u, ok := o.cache[mask]; ok {
-		return u, nil
-	}
-	var coalition []*fl.Participant
-	for i, p := range o.parts {
-		if mask&(1<<uint(i)) != 0 {
-			coalition = append(coalition, p)
-		}
-	}
-	model, err := o.trainer.Train(coalition)
-	if err != nil {
-		return 0, fmt.Errorf("valuation: training coalition %b: %w", mask, err)
-	}
-	u := o.trainer.Evaluate(model, o.test)
-	o.cache[mask] = u
-	o.Evals++
-	return u, nil
-}
-
 // oracleFor returns shared when non-nil (coalition evaluations are then
 // reused across schemes — only valid while the participant list is
-// unchanged) and a fresh memoizing oracle otherwise.
-func oracleFor(shared *Oracle, trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table) *Oracle {
+// unchanged) and a fresh memoizing oracle otherwise, with the scheme's
+// worker bound applied. A shared oracle keeps its own configuration.
+func oracleFor(shared *Oracle, trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table, workers int) (*Oracle, error) {
 	if shared != nil {
-		return shared
+		return shared, nil
 	}
-	return NewOracle(trainer, parts, test)
+	o, err := NewOracle(trainer, parts, test)
+	if err != nil {
+		return nil, err
+	}
+	o.Workers = workers
+	return o, nil
 }
 
 // Individual is the baseline phi(i) = v({i}).
 type Individual struct {
 	Trainer *fl.Trainer
+	// Workers bounds concurrent coalition trainings when the scheme builds
+	// its own oracle; 0 means GOMAXPROCS.
+	Workers int
 	// SharedOracle optionally reuses coalition evaluations across schemes.
 	SharedOracle *Oracle
 }
@@ -101,15 +54,26 @@ type Individual struct {
 // Name implements Scheme.
 func (s *Individual) Name() string { return "Individual" }
 
-// Scores implements Scheme.
+// Scores implements Scheme. The n singleton coalitions are planned up
+// front and trained as one parallel batch; the scores are then read from
+// the warm cache in index order.
 func (s *Individual) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
-	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	o, err := oracleFor(s.SharedOracle, s.Trainer, parts, test, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.EvalBatch(PlanIndividual(len(parts))); err != nil {
+		return nil, err
+	}
 	return IndividualValues(len(parts), o.Utility)
 }
 
 // LeaveOneOut is the baseline phi(i) = v(D_N) − v(D_{N\i}).
 type LeaveOneOut struct {
 	Trainer *fl.Trainer
+	// Workers bounds concurrent coalition trainings when the scheme builds
+	// its own oracle; 0 means GOMAXPROCS.
+	Workers int
 	// SharedOracle optionally reuses coalition evaluations across schemes.
 	SharedOracle *Oracle
 }
@@ -117,9 +81,16 @@ type LeaveOneOut struct {
 // Name implements Scheme.
 func (s *LeaveOneOut) Name() string { return "LeaveOneOut" }
 
-// Scores implements Scheme.
+// Scores implements Scheme. The grand coalition and the n leave-one-out
+// coalitions are planned up front and trained as one parallel batch.
 func (s *LeaveOneOut) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
-	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	o, err := oracleFor(s.SharedOracle, s.Trainer, parts, test, s.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := o.EvalBatch(PlanLeaveOneOut(len(parts))); err != nil {
+		return nil, err
+	}
 	return LeaveOneOutValues(len(parts), o.Utility)
 }
 
@@ -132,6 +103,10 @@ type ShapleyValue struct {
 	TruncationEps float64
 	// Seed for permutation sampling.
 	Seed int64
+	// Workers bounds both the concurrent permutation walkers and (when the
+	// scheme builds its own oracle) concurrent coalition trainings; 0 means
+	// GOMAXPROCS. The estimate is bit-identical for every worker count.
+	Workers int
 	// SharedOracle optionally reuses coalition evaluations across schemes.
 	SharedOracle *Oracle
 }
@@ -139,9 +114,15 @@ type ShapleyValue struct {
 // Name implements Scheme.
 func (s *ShapleyValue) Name() string { return "ShapleyValue" }
 
-// Scores implements Scheme.
+// Scores implements Scheme. Permutations are drawn up front; the
+// non-speculative prefix plan is batch-trained, then the permutation walks
+// run concurrently against the deduplicating oracle with GTG-style
+// truncation intact.
 func (s *ShapleyValue) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
-	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	o, err := oracleFor(s.SharedOracle, s.Trainer, parts, test, s.Workers)
+	if err != nil {
+		return nil, err
+	}
 	eps := s.TruncationEps
 	if eps == 0 {
 		eps = 0.01
@@ -150,6 +131,8 @@ func (s *ShapleyValue) Scores(parts []*fl.Participant, test *dataset.Table) ([]f
 		Permutations:  s.Permutations,
 		TruncationEps: eps,
 		Rand:          rand.New(rand.NewSource(s.Seed + 101)),
+		Workers:       schemeWorkers(s.Workers),
+		Warm:          o.EvalBatch,
 	})
 }
 
@@ -160,6 +143,9 @@ type LeastCore struct {
 	Samples int
 	// Seed for coalition sampling.
 	Seed int64
+	// Workers bounds concurrent coalition trainings when the scheme builds
+	// its own oracle; 0 means GOMAXPROCS.
+	Workers int
 	// SharedOracle optionally reuses coalition evaluations across schemes.
 	SharedOracle *Oracle
 }
@@ -167,18 +153,17 @@ type LeastCore struct {
 // Name implements Scheme.
 func (s *LeastCore) Name() string { return "LeastCore" }
 
-// Scores implements Scheme.
+// Scores implements Scheme. Constraint coalitions are sampled up front and
+// trained as one parallel batch; the LP is then built sequentially from the
+// warm cache in sample order.
 func (s *LeastCore) Scores(parts []*fl.Participant, test *dataset.Table) ([]float64, error) {
-	o := oracleFor(s.SharedOracle, s.Trainer, parts, test)
+	o, err := oracleFor(s.SharedOracle, s.Trainer, parts, test, s.Workers)
+	if err != nil {
+		return nil, err
+	}
 	return SampledLeastCore(len(parts), o.Utility, LeastCoreConfig{
 		Samples: s.Samples,
 		Rand:    rand.New(rand.NewSource(s.Seed + 202)),
+		Warm:    o.EvalBatch,
 	})
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

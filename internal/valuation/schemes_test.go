@@ -33,7 +33,10 @@ func TestOracleMemoizes(t *testing.T) {
 		t.Skip("training test")
 	}
 	trainer, parts, test := tinyFederation(t)
-	o := NewOracle(trainer, parts, test)
+	o, err := NewOracle(trainer, parts, test)
+	if err != nil {
+		t.Fatal(err)
+	}
 	u1, err := o.Utility(0b011)
 	if err != nil {
 		t.Fatal(err)
@@ -45,8 +48,8 @@ func TestOracleMemoizes(t *testing.T) {
 	if u1 != u2 {
 		t.Fatalf("memoized utility changed: %v vs %v", u1, u2)
 	}
-	if o.Evals != 1 {
-		t.Fatalf("Evals = %d, want 1", o.Evals)
+	if o.Evals() != 1 {
+		t.Fatalf("Evals = %d, want 1", o.Evals())
 	}
 	if u1 < 0.4 || u1 > 1 {
 		t.Fatalf("implausible utility %v", u1)
@@ -59,8 +62,8 @@ func TestOracleMemoizes(t *testing.T) {
 	if e < 0.5 || e > 0.8 {
 		t.Fatalf("empty utility = %v, want majority fraction", e)
 	}
-	if o.Evals != 1 {
-		t.Fatalf("empty coalition should not train; Evals = %d", o.Evals)
+	if o.Evals() != 1 {
+		t.Fatalf("empty coalition should not train; Evals = %d", o.Evals())
 	}
 }
 

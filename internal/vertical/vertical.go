@@ -211,13 +211,6 @@ func (r *Result) Scores() []float64 {
 	return append([]float64(nil), r.Credit...)
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // encoderOf and encSchema expose the rule set's encoder internals needed
 // for predicate-to-feature resolution.
 func encoderOf(rs *rules.Set) *dataset.Encoder { return rs.Encoder() }

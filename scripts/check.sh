@@ -18,6 +18,10 @@ go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/...
 echo "== go test -race (service layer: store, jobs, server, telemetry)"
 go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/...
 
+echo "== go test -race (valuation engine + FL trainer, parallel paths exercised)"
+go test -race ./internal/valuation/... ./internal/fl/...
+go test -race -short ./internal/experiments/...
+
 echo "== go test ./... (full suite)"
 go test ./...
 
@@ -27,6 +31,8 @@ go test -run=TestTrainInnerLoopZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'P
 echo "== bench smoke (1 iteration per hot-path benchmark)"
 go test -run=NONE -bench='BenchmarkTraceIndexed|BenchmarkTrainEpochs' -benchtime=1x \
     ./internal/core/ ./internal/nn/
+go test -run=NONE -bench='BenchmarkOracleBatch|BenchmarkSampledShapleyParallel' -benchtime=1x \
+    ./internal/valuation/
 
 echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
 tmpbin="$(mktemp -d)"
