@@ -5,12 +5,22 @@
 //	ctflsrv [-addr :8080] [-data-dir /var/lib/ctflsrv] [-workers 4]
 //	        [-queue 64] [-job-timeout 2m] [-max-body 67108864]
 //	        [-compact-bytes 8388608] [-no-sync] [-pprof] [-log-json]
+//	        [-job-retries 3] [-degraded-threshold 3] [-probe-interval 1s]
+//	        [-retry-after 1s]
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
 // the service is in-memory. SIGINT/SIGTERM trigger a graceful drain:
 // in-flight HTTP requests and queued trace jobs finish, a final state
 // snapshot is written, and only then does the process exit.
+//
+// Fault tolerance: failed trace jobs are retried up to -job-retries times
+// with exponential backoff (panicking jobs are quarantined instead, never
+// retried). After -degraded-threshold consecutive WAL append failures the
+// service enters degraded mode — reads and traces keep working, writes
+// answer 503 with a Retry-After of -retry-after — and probes the WAL at
+// most every -probe-interval until an append succeeds, then recovers
+// automatically.
 //
 // Lifecycle (see internal/server for payload formats):
 //
@@ -43,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -55,6 +66,10 @@ func main() {
 	maxBody := flag.Int64("max-body", 64<<20, "max POST body bytes before 413")
 	compactBytes := flag.Int64("compact-bytes", 8<<20, "WAL size triggering snapshot compaction")
 	noSync := flag.Bool("no-sync", false, "skip per-append WAL fsync (faster, less durable)")
+	jobRetries := flag.Int("job-retries", 3, "max attempts per trace job (1 = no retries; panics always quarantine)")
+	degradedThreshold := flag.Int("degraded-threshold", 3, "consecutive WAL failures before degraded mode")
+	probeInterval := flag.Duration("probe-interval", time.Second, "min interval between degraded-mode recovery probes")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 write rejections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -67,14 +82,18 @@ func main() {
 	logger := slog.New(handler)
 
 	svc, err := server.NewWithOptions(server.Options{
-		DataDir:      *dataDir,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		JobTimeout:   *jobTimeout,
-		MaxBodyBytes: *maxBody,
-		CompactBytes: *compactBytes,
-		NoSync:       *noSync,
-		Logger:       logger,
+		DataDir:           *dataDir,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		JobTimeout:        *jobTimeout,
+		MaxBodyBytes:      *maxBody,
+		CompactBytes:      *compactBytes,
+		NoSync:            *noSync,
+		Logger:            logger,
+		JobRetry:          jobs.RetryPolicy{MaxAttempts: *jobRetries},
+		DegradedThreshold: *degradedThreshold,
+		ProbeInterval:     *probeInterval,
+		RetryAfter:        *retryAfter,
 	})
 	if err != nil {
 		logger.Error("ctflsrv: startup failed", "err", err)

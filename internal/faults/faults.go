@@ -1,0 +1,213 @@
+// Package faults is a deterministic fault-injection harness: call sites in
+// the store, job engine, server, and HTTP client ask a shared Injector
+// whether "the world breaks here, now", and the injector answers from a
+// seeded probability schedule. Four fault kinds are supported — returned
+// errors, added latency, panics, and byte corruption — each drawn per named
+// site from a stats.NewRNG stream, so a fixed seed replays the same fault
+// pattern for a fixed call sequence.
+//
+// The design mirrors the repository's telemetry instruments: a nil
+// *Injector (and any unconfigured site) is a no-op costing one pointer
+// check, so production paths carry injection points at zero overhead.
+// Per-site MaxFaults caps bound the total damage, which is what lets chaos
+// tests assert convergence: retry loops are guaranteed to outlast a budget
+// of injected failures.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrInjected is the sentinel every injected error wraps; resilience layers
+// and tests match it with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Site schedules one injection point. Probabilities are evaluated
+// independently per call in a fixed order — latency, then panic, then error
+// — so one call can both stall and fail. Corruption has its own entry point
+// (Corrupt) because it needs the bytes.
+type Site struct {
+	// ErrProb is the probability Err returns an injected error.
+	ErrProb float64
+	// PanicProb is the probability Err panics instead of returning.
+	PanicProb float64
+	// LatencyProb is the probability Err sleeps Latency first.
+	LatencyProb float64
+	// Latency is the stall added when the latency draw fires.
+	Latency time.Duration
+	// CorruptProb is the probability Corrupt flips one byte.
+	CorruptProb float64
+	// MaxFaults caps the total faults injected at this site (0 = unlimited).
+	// Bounding the budget guarantees retrying callers eventually succeed.
+	MaxFaults int
+}
+
+// Stats is one site's observed injection history.
+type Stats struct {
+	// Hits counts calls that consulted the site (faulted or not).
+	Hits int64
+	// Errors, Panics, Delays, Corruptions count fired faults by kind.
+	Errors      int64
+	Panics      int64
+	Delays      int64
+	Corruptions int64
+}
+
+// Fired is the total faults this site injected.
+func (s Stats) Fired() int64 { return s.Errors + s.Panics + s.Delays + s.Corruptions }
+
+type siteState struct {
+	cfg   Site
+	stats Stats
+}
+
+// budget reports whether the site may inject another fault.
+func (st *siteState) budget() bool {
+	return st.cfg.MaxFaults <= 0 || st.stats.Fired() < int64(st.cfg.MaxFaults)
+}
+
+// Injector drives every configured site from one seeded RNG. Methods are
+// safe for concurrent use; decisions are serialized, so a fixed seed and a
+// fixed call sequence replay the same faults.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*siteState
+	// sleep is time.Sleep unless a test injects a fake clock.
+	sleep func(time.Duration)
+}
+
+// New builds an injector over the given site schedule, seeded for
+// reproducibility. Sites not present in the map never fault.
+func New(seed int64, sites map[string]Site) *Injector {
+	in := &Injector{
+		rng:   stats.NewRNG(seed),
+		sites: make(map[string]*siteState, len(sites)),
+		sleep: time.Sleep,
+	}
+	for name, cfg := range sites {
+		in.sites[name] = &siteState{cfg: cfg}
+	}
+	return in
+}
+
+// SetSleep replaces the latency clock (tests only).
+func (in *Injector) SetSleep(fn func(time.Duration)) { in.sleep = fn }
+
+// Err consults the site and possibly injects: it may sleep the configured
+// latency, panic, or return an error wrapping ErrInjected. A nil injector
+// or unconfigured site returns nil without allocating.
+func (in *Injector) Err(site string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	st, ok := in.sites[site]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	st.stats.Hits++
+	if !st.budget() {
+		in.mu.Unlock()
+		return nil
+	}
+	var delay time.Duration
+	if st.cfg.LatencyProb > 0 && in.rng.Float64() < st.cfg.LatencyProb && st.budget() {
+		st.stats.Delays++
+		delay = st.cfg.Latency
+	}
+	doPanic := st.cfg.PanicProb > 0 && st.budget() && in.rng.Float64() < st.cfg.PanicProb
+	if doPanic {
+		st.stats.Panics++
+	}
+	var err error
+	if !doPanic && st.cfg.ErrProb > 0 && st.budget() && in.rng.Float64() < st.cfg.ErrProb {
+		st.stats.Errors++
+		err = fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	sleep := in.sleep
+	in.mu.Unlock()
+
+	if delay > 0 {
+		sleep(delay)
+	}
+	if doPanic {
+		panic(fmt.Sprintf("faults: injected panic at %s", site))
+	}
+	return err
+}
+
+// Corrupt possibly flips one byte of b, returning a corrupted copy; when the
+// draw does not fire (or the injector/site is inert) b is returned
+// unchanged and nothing is allocated.
+func (in *Injector) Corrupt(site string, b []byte) []byte {
+	if in == nil || len(b) == 0 {
+		return b
+	}
+	in.mu.Lock()
+	st, ok := in.sites[site]
+	if !ok {
+		in.mu.Unlock()
+		return b
+	}
+	st.stats.Hits++
+	if st.cfg.CorruptProb <= 0 || !st.budget() || in.rng.Float64() >= st.cfg.CorruptProb {
+		in.mu.Unlock()
+		return b
+	}
+	st.stats.Corruptions++
+	pos := in.rng.Intn(len(b))
+	in.mu.Unlock()
+
+	out := append([]byte(nil), b...)
+	out[pos] ^= 0xA5
+	return out
+}
+
+// Stats returns a copy of every configured site's injection history.
+func (in *Injector) Stats() map[string]Stats {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]Stats, len(in.sites))
+	for name, st := range in.sites {
+		out[name] = st.stats
+	}
+	return out
+}
+
+// SiteStats returns one site's injection history.
+func (in *Injector) SiteStats(site string) Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if st, ok := in.sites[site]; ok {
+		return st.stats
+	}
+	return Stats{}
+}
+
+// Total is the number of faults injected across all sites.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var n int64
+	for _, st := range in.sites {
+		n += st.stats.Fired()
+	}
+	return n
+}

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Err("anything"); err != nil {
+		t.Fatalf("nil injector errored: %v", err)
+	}
+	b := []byte{1, 2, 3}
+	if got := in.Corrupt("anything", b); !bytes.Equal(got, b) {
+		t.Fatalf("nil injector corrupted: %v", got)
+	}
+	if in.Total() != 0 || in.Stats() != nil {
+		t.Fatal("nil injector reports activity")
+	}
+}
+
+func TestUnconfiguredSiteNeverFaults(t *testing.T) {
+	in := New(1, map[string]Site{"a": {ErrProb: 1}})
+	for i := 0; i < 100; i++ {
+		if err := in.Err("b"); err != nil {
+			t.Fatalf("unconfigured site faulted: %v", err)
+		}
+	}
+	if in.SiteStats("b").Hits != 0 {
+		t.Fatal("unconfigured site recorded hits")
+	}
+}
+
+func TestErrProbabilityOneAlwaysFires(t *testing.T) {
+	in := New(7, map[string]Site{"s": {ErrProb: 1}})
+	for i := 0; i < 10; i++ {
+		err := in.Err("s")
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: err = %v, want ErrInjected", i, err)
+		}
+		if !strings.Contains(err.Error(), "at s") {
+			t.Fatalf("error does not name the site: %v", err)
+		}
+	}
+	st := in.SiteStats("s")
+	if st.Errors != 10 || st.Hits != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaxFaultsBoundsInjection(t *testing.T) {
+	in := New(3, map[string]Site{"s": {ErrProb: 1, MaxFaults: 4}})
+	fails := 0
+	for i := 0; i < 50; i++ {
+		if in.Err("s") != nil {
+			fails++
+		}
+	}
+	if fails != 4 {
+		t.Fatalf("injected %d faults, want exactly MaxFaults=4", fails)
+	}
+	if in.Total() != 4 {
+		t.Fatalf("Total() = %d", in.Total())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	seq := func() []bool {
+		in := New(42, map[string]Site{"s": {ErrProb: 0.5}})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Err("s") != nil
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identical seeds", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 schedule fired %d/%d times; schedule not probabilistic", fired, len(a))
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	in := New(9, map[string]Site{"s": {PanicProb: 1, MaxFaults: 1}})
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil || !strings.Contains(r.(string), "injected panic at s") {
+				t.Fatalf("recover() = %v", r)
+			}
+		}()
+		in.Err("s")
+		t.Fatal("Err did not panic")
+	}()
+	// Budget spent: next call is clean.
+	if err := in.Err("s"); err != nil {
+		t.Fatalf("post-budget call faulted: %v", err)
+	}
+	if st := in.SiteStats("s"); st.Panics != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLatencyInjectionUsesClock(t *testing.T) {
+	var slept time.Duration
+	in := New(5, map[string]Site{"s": {LatencyProb: 1, Latency: 250 * time.Millisecond, MaxFaults: 2}})
+	in.SetSleep(func(d time.Duration) { slept += d })
+	for i := 0; i < 5; i++ {
+		if err := in.Err("s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if slept != 500*time.Millisecond {
+		t.Fatalf("slept %v, want 500ms (2 capped delays)", slept)
+	}
+}
+
+func TestCorruptFlipsOneByteInCopy(t *testing.T) {
+	in := New(11, map[string]Site{"s": {CorruptProb: 1, MaxFaults: 1}})
+	orig := []byte("hello, federation")
+	keep := append([]byte(nil), orig...)
+	got := in.Corrupt("s", orig)
+	if !bytes.Equal(orig, keep) {
+		t.Fatal("Corrupt mutated the caller's slice")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want 1", diff)
+	}
+	// Budget exhausted: passthrough without copying.
+	if again := in.Corrupt("s", orig); &again[0] != &orig[0] {
+		t.Fatal("post-budget Corrupt copied the slice")
+	}
+}
+
+// TestDisabledInjectorZeroAlloc pins the contract the hot paths rely on: a
+// nil injector — and an unconfigured site on a live one — cost no
+// allocations (the same bar TestTrainInnerLoopZeroAlloc sets for telemetry).
+func TestDisabledInjectorZeroAlloc(t *testing.T) {
+	var nilIn *Injector
+	buf := []byte{1, 2, 3, 4}
+	if n := testing.AllocsPerRun(200, func() {
+		_ = nilIn.Err("store.append")
+		_ = nilIn.Corrupt("store.append", buf)
+	}); n != 0 {
+		t.Fatalf("nil injector path allocates %v/op, want 0", n)
+	}
+	live := New(1, map[string]Site{"other": {ErrProb: 1}})
+	if n := testing.AllocsPerRun(200, func() {
+		_ = live.Err("store.append")
+		_ = live.Corrupt("store.append", buf)
+	}); n != 0 {
+		t.Fatalf("unconfigured-site path allocates %v/op, want 0", n)
+	}
+}

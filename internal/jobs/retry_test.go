@@ -1,0 +1,178 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+func retryCfg(attempts int) Config {
+	return Config{
+		Workers: 1,
+		Retry:   RetryPolicy{MaxAttempts: attempts, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+	}
+}
+
+// TestRetryPolicyRecovers: a job that fails transiently succeeds within its
+// attempt budget, the retry counter records the re-runs, and the final view
+// carries the attempt count.
+func TestRetryPolicyRecovers(t *testing.T) {
+	e := New(retryCfg(5))
+	defer e.Close(context.Background())
+	var runs atomic.Int64
+	j, _ := e.Submit("k", func(ctx context.Context) (any, error) {
+		if runs.Add(1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "recovered", nil
+	})
+	v := waitDone(t, e, j)
+	if v.Status != StatusDone || v.Result != "recovered" {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("attempts = %d (ran %d), want 3", v.Attempts, runs.Load())
+	}
+	if got := e.MetricsView()["retries"]; got != 2 {
+		t.Fatalf("retries metric = %d, want 2", got)
+	}
+}
+
+// TestRetryExhaustionFails: a persistently failing job stops at MaxAttempts
+// and surfaces the last error.
+func TestRetryExhaustionFails(t *testing.T) {
+	e := New(retryCfg(3))
+	defer e.Close(context.Background())
+	boom := errors.New("still broken")
+	var runs atomic.Int64
+	j, _ := e.Submit("", func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		return nil, boom
+	})
+	v := waitDone(t, e, j)
+	if v.Status != StatusFailed || !errors.Is(v.Err, boom) {
+		t.Fatalf("view = %+v", v)
+	}
+	if v.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("attempts = %d (ran %d), want exactly MaxAttempts=3", v.Attempts, runs.Load())
+	}
+	if v.Quarantined {
+		t.Fatal("plain failure must not be quarantined")
+	}
+}
+
+// TestPanickingJobQuarantinedNotRetried: the poison-job contract. One panic
+// → failed status with the panic message, exactly one run despite a generous
+// retry budget, quarantined flag set, and the job visible in DeadLetters.
+func TestPanickingJobQuarantinedNotRetried(t *testing.T) {
+	e := New(retryCfg(10))
+	defer e.Close(context.Background())
+	var runs atomic.Int64
+	j, _ := e.Submit("", func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		panic("poisoned payload")
+	})
+	v := waitDone(t, e, j)
+	if v.Status != StatusFailed {
+		t.Fatalf("view = %+v", v)
+	}
+	if !strings.Contains(v.Err.Error(), "jobs: job panicked: poisoned payload") {
+		t.Fatalf("err = %v, want panic message", v.Err)
+	}
+	var pe *PanicError
+	if !errors.As(v.Err, &pe) || pe.Value != "poisoned payload" {
+		t.Fatalf("err is not a *PanicError carrying the value: %v", v.Err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("poison job ran %d times, want 1 (never retried)", runs.Load())
+	}
+	if !v.Quarantined || v.Attempts != 1 {
+		t.Fatalf("view = %+v, want quarantined after 1 attempt", v)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 1 || dl[0].ID != v.ID {
+		t.Fatalf("dead letters = %+v", dl)
+	}
+	if got := e.MetricsView()["quarantined"]; got != 1 {
+		t.Fatalf("quarantined metric = %d", got)
+	}
+}
+
+// TestDeadLetterListBounded: the quarantine list is FIFO-bounded.
+func TestDeadLetterListBounded(t *testing.T) {
+	e := New(Config{Workers: 1, DeadLetterSize: 2})
+	defer e.Close(context.Background())
+	var last View
+	for i := 0; i < 4; i++ {
+		j, _ := e.Submit("", func(ctx context.Context) (any, error) { panic(i) })
+		last = waitDone(t, e, j)
+	}
+	dl := e.DeadLetters()
+	if len(dl) != 2 {
+		t.Fatalf("dead letters = %d, want bound of 2", len(dl))
+	}
+	if dl[1].ID != last.ID {
+		t.Fatal("newest poison job missing from bounded list")
+	}
+}
+
+// TestInjectedFaultsRetried: errors injected at the jobs.run site are
+// ordinary failures — retried until the fault budget runs out — while an
+// injected panic lands in quarantine like a real one.
+func TestInjectedFaultsRetried(t *testing.T) {
+	in := faults.New(31, map[string]faults.Site{
+		FaultRun: {ErrProb: 1, MaxFaults: 2},
+	})
+	cfg := retryCfg(5)
+	cfg.Faults = in
+	e := New(cfg)
+	defer e.Close(context.Background())
+	var runs atomic.Int64
+	j, _ := e.Submit("", func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		return "ok", nil
+	})
+	v := waitDone(t, e, j)
+	if v.Status != StatusDone || v.Result != "ok" {
+		t.Fatalf("view = %+v", v)
+	}
+	// Two injected failures precede the fn, so it runs once on attempt 3.
+	if v.Attempts != 3 || runs.Load() != 1 {
+		t.Fatalf("attempts = %d, fn runs = %d; want 3 attempts, 1 run", v.Attempts, runs.Load())
+	}
+
+	inPanic := faults.New(7, map[string]faults.Site{
+		FaultRun: {PanicProb: 1, MaxFaults: 1},
+	})
+	cfg2 := retryCfg(5)
+	cfg2.Faults = inPanic
+	e2 := New(cfg2)
+	defer e2.Close(context.Background())
+	j2, _ := e2.Submit("", func(ctx context.Context) (any, error) { return "unreached-first-try", nil })
+	v2 := waitDone(t, e2, j2)
+	if !v2.Quarantined || v2.Attempts != 1 {
+		t.Fatalf("injected panic view = %+v, want quarantine after 1 attempt", v2)
+	}
+	if !strings.Contains(v2.Err.Error(), "injected panic at jobs.run") {
+		t.Fatalf("err = %v", v2.Err)
+	}
+}
+
+// TestRetryBackoffSchedule pins the exponential-with-cap shape.
+func TestRetryBackoffSchedule(t *testing.T) {
+	p := RetryPolicy{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}.withDefaults()
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		50 * time.Millisecond, 50 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}

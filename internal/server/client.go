@@ -2,131 +2,347 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/protocol"
+	"repro/internal/stats"
 )
 
+// FaultRequest is the client's fault-injection site, fired before a request
+// is sent. Pre-send failures are always safe to retry — nothing reached the
+// server. Client.Faults of nil leaves it inert.
+const FaultRequest = "client.request"
+
+// defaultHTTPClient bounds every request: a hung server fails the call
+// instead of hanging the participant forever.
+var defaultHTTPClient = &http.Client{Timeout: 60 * time.Second}
+
+// ClientRetryPolicy tunes the client's exponential-backoff retry loop.
+type ClientRetryPolicy struct {
+	// MaxAttempts caps total tries per call (first included). Values below
+	// 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter backoff before the first retry; each
+	// further retry doubles it. Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling and any server Retry-After hint.
+	// Default 2s.
+	MaxDelay time.Duration
+	// JitterSeed seeds the deterministic jitter stream (full-jitter over the
+	// upper half of the backoff window).
+	JitterSeed int64
+}
+
+func (p ClientRetryPolicy) withDefaults() ClientRetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
 // Client is a typed wrapper over the service's HTTP API, for participants
-// and federation tooling.
+// and federation tooling. All methods take a context that bounds the whole
+// call including retries.
+//
+// With Retry set, calls that fail retryably are retried with exponential
+// backoff + seeded jitter: 503/429 answers (honouring Retry-After, which our
+// server sends before any state change, so even uploads may retry them) and
+// pre-send injected faults always; transport errors only on idempotent
+// calls, because a lost response does not prove the request had no effect.
 type Client struct {
 	// BaseURL of the service, e.g. "http://localhost:8080".
 	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
+	// HTTPClient defaults to a shared client with a 60s timeout.
 	HTTPClient *http.Client
+	// Retry enables the retry loop; nil disables it (single attempt).
+	Retry *ClientRetryPolicy
+	// PollInterval paces Trace's job polling (default 50ms).
+	PollInterval time.Duration
+	// Faults injects pre-send failures at FaultRequest, for resilience
+	// testing. Nil disables injection.
+	Faults *faults.Injector
+
+	jitterOnce sync.Once
+	jitterMu   sync.Mutex
+	jitter     *rand.Rand
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }
 
-func (c *Client) do(method, path, contentType string, body io.Reader, out any) error {
-	req, err := http.NewRequest(method, c.BaseURL+path, body)
+func (c *Client) pollInterval() time.Duration {
+	if c.PollInterval > 0 {
+		return c.PollInterval
+	}
+	return 50 * time.Millisecond
+}
+
+// backoffDelay computes the pause before retry n (n starts at 1): an
+// exponentially growing window with deterministic jitter over its upper
+// half, so synchronized clients spread out but a fixed seed replays the
+// same schedule.
+func (c *Client) backoffDelay(p ClientRetryPolicy, n int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < n && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	d = min(d, p.MaxDelay)
+	c.jitterOnce.Do(func() { c.jitter = stats.NewRNG(p.JitterSeed) })
+	c.jitterMu.Lock()
+	f := c.jitter.Float64()
+	c.jitterMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// failKind classifies one failed exchange, which decides retryability.
+type failKind int
+
+const (
+	failNone      failKind = iota
+	failPreSend            // injected before the wire: server never saw it
+	failTransport          // sent, no response: effect on the server unknown
+	failRejected           // 503/429: the server rejected before any effect
+	failPermanent          // any other status or a decode error
+)
+
+// attempt is one request/response cycle's outcome.
+type attempt struct {
+	err        error
+	kind       failKind
+	retryAfter time.Duration // server hint; zero when absent
+}
+
+// doOnce performs a single exchange. body is a byte slice (not a Reader) so
+// the retry loop can replay it.
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte, out any) attempt {
+	if err := c.Faults.Err(FaultRequest); err != nil {
+		return attempt{err: fmt.Errorf("client: %s %s: %w", method, path, err), kind: failPreSend}
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return err
+		return attempt{err: err, kind: failPermanent}
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return attempt{err: err, kind: failTransport}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
+		// A failed trace job polls as 500 *with* the job envelope: that is a
+		// successful poll of an unsuccessful job, and the caller (Trace's
+		// resubmission loop) wants the envelope, not an opaque error.
+		if env, ok := out.(*TraceJobResponse); ok && resp.StatusCode == http.StatusInternalServerError {
+			if json.NewDecoder(resp.Body).Decode(env) == nil && jobs.Status(env.Status) == jobs.StatusFailed {
+				return attempt{}
+			}
+			return attempt{
+				err:  fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode),
+				kind: failPermanent,
+			}
+		}
+		a := attempt{kind: failPermanent}
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			a.kind = failRejected
+		}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
+			a.retryAfter = time.Duration(secs) * time.Second
+		}
 		var e struct {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+			a.err = fmt.Errorf("server: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		} else {
+			a.err = fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode)
 		}
-		return fmt.Errorf("server: %s %s: status %d", method, path, resp.StatusCode)
+		return a
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return attempt{err: err, kind: failPermanent}
+		}
 	}
-	return nil
+	return attempt{}
 }
 
-// PublishEncoder posts the federation's predicate encoding.
-func (c *Client) PublishEncoder(enc *dataset.Encoder) error {
+// do runs the retry loop around doOnce. idempotent marks calls whose effect
+// is safe to repeat, unlocking retries of ambiguous transport failures;
+// pre-send injections and pre-effect 503/429 rejections retry regardless.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool) error {
+	p := ClientRetryPolicy{MaxAttempts: 1}.withDefaults()
+	if c.Retry != nil {
+		p = c.Retry.withDefaults()
+	}
+	for n := 1; ; n++ {
+		a := c.doOnce(ctx, method, path, contentType, body, out)
+		if a.err == nil {
+			return nil
+		}
+		retryable := a.kind == failPreSend || a.kind == failRejected ||
+			(a.kind == failTransport && idempotent)
+		if !retryable || n >= p.MaxAttempts {
+			return a.err
+		}
+		delay := c.backoffDelay(p, n)
+		if a.retryAfter > 0 {
+			delay = min(max(delay, a.retryAfter), p.MaxDelay)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+}
+
+// PublishEncoder posts the federation's predicate encoding. Idempotent:
+// republishing the same encoder converges to the same state.
+func (c *Client) PublishEncoder(ctx context.Context, enc *dataset.Encoder) error {
 	data, err := json.Marshal(enc)
 	if err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, "/v1/encoder", "application/json", bytes.NewReader(data), nil)
+	return c.do(ctx, http.MethodPost, "/v1/encoder", "application/json", data, nil, true)
 }
 
-// PublishModel posts the trained global model.
-func (c *Client) PublishModel(m *nn.Model) error {
+// PublishModel posts the trained global model. Idempotent like the encoder.
+func (c *Client) PublishModel(ctx context.Context, m *nn.Model) error {
 	var buf bytes.Buffer
 	if _, err := m.WriteTo(&buf); err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, "/v1/model", "application/octet-stream", &buf, nil)
+	return c.do(ctx, http.MethodPost, "/v1/model", "application/octet-stream", buf.Bytes(), nil, true)
 }
 
-// UploadActivations sends one participant's activation frames.
-func (c *Client) UploadActivations(up *protocol.Upload) error {
+// UploadActivations sends one participant's activation frames. NOT
+// idempotent — a duplicated frame double-counts the participant's records —
+// so ambiguous transport failures are not retried; 503/429 rejections (which
+// the server issues before any state change) still are.
+func (c *Client) UploadActivations(ctx context.Context, up *protocol.Upload) error {
 	var buf bytes.Buffer
 	if err := up.Write(&buf); err != nil {
 		return err
 	}
-	return c.do(http.MethodPost, "/v1/uploads", "application/octet-stream", &buf, nil)
+	return c.do(ctx, http.MethodPost, "/v1/uploads", "application/octet-stream", buf.Bytes(), nil, false)
 }
 
 // Trace scores a reserved test table at the given tracing parameters,
-// waiting synchronously for the asynchronous trace job to finish.
-func (c *Client) Trace(test *dataset.Table, tau float64, delta int) (*TraceResponse, error) {
-	job, err := c.trace(test, tau, delta, "&wait=120s")
-	if err != nil {
-		return nil, err
-	}
-	if job.Result == nil {
-		return nil, fmt.Errorf("server: trace job %s %s: %s", job.ID, job.Status, job.Error)
-	}
-	return job.Result, nil
-}
-
-// TraceAsync submits a trace job without waiting; poll with TraceJob.
-func (c *Client) TraceAsync(test *dataset.Table, tau float64, delta int) (*TraceJobResponse, error) {
-	return c.trace(test, tau, delta, "")
-}
-
-func (c *Client) trace(test *dataset.Table, tau float64, delta int, wait string) (*TraceJobResponse, error) {
+// waiting synchronously for the asynchronous trace job to finish: submit,
+// then poll at PollInterval. A job that *failed* server-side is resubmitted
+// (failed jobs are never cached, so the resubmission reruns the trace) up to
+// the retry policy's attempt budget.
+func (c *Client) Trace(ctx context.Context, test *dataset.Table, tau float64, delta int) (*TraceResponse, error) {
 	var csv bytes.Buffer
 	if err := dataset.WriteCSV(&csv, test); err != nil {
 		return nil, err
 	}
-	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d%s", tau, delta, wait)
+	maxAttempts := 1
+	if c.Retry != nil {
+		maxAttempts = c.Retry.withDefaults().MaxAttempts
+	}
+	var env *TraceJobResponse
+	for n := 1; ; n++ {
+		var err error
+		env, err = c.traceOnce(ctx, csv.Bytes(), tau, delta)
+		if err != nil {
+			return nil, err
+		}
+		if env.Result != nil {
+			return env.Result, nil
+		}
+		if n >= maxAttempts {
+			return nil, fmt.Errorf("server: trace job %s %s: %s", env.ID, env.Status, env.Error)
+		}
+	}
+}
+
+// traceOnce submits the trace and polls it to a terminal status.
+func (c *Client) traceOnce(ctx context.Context, csv []byte, tau float64, delta int) (*TraceJobResponse, error) {
+	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d", tau, delta)
+	var env TraceJobResponse
+	// Trace submission is content-addressed (test set + params + state
+	// version), so duplicates dedup server-side: idempotent.
+	if err := c.do(ctx, http.MethodPost, path, "text/csv", csv, &env, true); err != nil {
+		return nil, err
+	}
+	for {
+		switch jobs.Status(env.Status) {
+		case jobs.StatusDone, jobs.StatusFailed:
+			return &env, nil
+		}
+		t := time.NewTimer(c.pollInterval())
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+		next, err := c.TraceJob(ctx, env.ID)
+		if err != nil {
+			return nil, err
+		}
+		env = *next
+	}
+}
+
+// TraceAsync submits a trace job without waiting; poll with TraceJob.
+func (c *Client) TraceAsync(ctx context.Context, test *dataset.Table, tau float64, delta int) (*TraceJobResponse, error) {
+	var csv bytes.Buffer
+	if err := dataset.WriteCSV(&csv, test); err != nil {
+		return nil, err
+	}
+	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d", tau, delta)
 	var out TraceJobResponse
-	if err := c.do(http.MethodPost, path, "text/csv", &csv, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, "text/csv", csv.Bytes(), &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // TraceJob polls one trace job's status and (when done) result.
-func (c *Client) TraceJob(id string) (*TraceJobResponse, error) {
+func (c *Client) TraceJob(ctx context.Context, id string) (*TraceJobResponse, error) {
 	var out TraceJobResponse
-	if err := c.do(http.MethodGet, "/v1/trace/"+id, "", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/trace/"+id, "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Stats fetches the service's observability counters.
-func (c *Client) Stats() (*StatsResponse, error) {
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.do(http.MethodGet, "/v1/stats", "", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -134,8 +350,12 @@ func (c *Client) Stats() (*StatsResponse, error) {
 
 // Metrics fetches the Prometheus text exposition of the server's metric
 // registry, verbatim.
-func (c *Client) Metrics() (string, error) {
-	resp, err := c.http().Get(c.BaseURL + "/metrics")
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return "", err
 	}
@@ -149,31 +369,31 @@ func (c *Client) Metrics() (string, error) {
 
 // TracesRecent fetches up to n recent request trace trees, newest first
 // (n <= 0 uses the server default).
-func (c *Client) TracesRecent(n int) (*TracesResponse, error) {
+func (c *Client) TracesRecent(ctx context.Context, n int) (*TracesResponse, error) {
 	path := "/v1/traces/recent"
 	if n > 0 {
 		path = fmt.Sprintf("%s?n=%d", path, n)
 	}
 	var out TracesResponse
-	if err := c.do(http.MethodGet, path, "", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Rules fetches the extracted rule set.
-func (c *Client) Rules() ([]RuleJSON, error) {
+func (c *Client) Rules(ctx context.Context) ([]RuleJSON, error) {
 	var out []RuleJSON
-	if err := c.do(http.MethodGet, "/v1/rules", "", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/rules", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // Health fetches the liveness/state summary.
-func (c *Client) Health() (map[string]any, error) {
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(http.MethodGet, "/healthz", "", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil

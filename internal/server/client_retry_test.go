@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// flakyHandler answers 503 (+Retry-After) for the first fail requests to
+// each path, then delegates to ok.
+type flakyHandler struct {
+	fails int64
+	seen  atomic.Int64
+	ok    http.Handler
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.seen.Add(1) <= h.fails {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":"synthetic outage"}`))
+		return
+	}
+	h.ok.ServeHTTP(w, r)
+}
+
+func fastRetry(attempts int) *ClientRetryPolicy {
+	return &ClientRetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		JitterSeed:  1,
+	}
+}
+
+// TestClientRetries503WithRetryAfter: 503 rejections are retried even on the
+// non-idempotent uploads path, because the server rejects before any state
+// change.
+func TestClientRetries503WithRetryAfter(t *testing.T) {
+	h := &flakyHandler{fails: 2, ok: New()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, Retry: fastRetry(5)}
+	// /healthz after two 503s: the retry loop must push through.
+	if _, err := cl.Health(context.Background()); err != nil {
+		t.Fatalf("health did not survive transient 503s: %v", err)
+	}
+	if got := h.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (2 failures + success)", got)
+	}
+}
+
+// TestClientRetryExhaustion: a persistent 503 eventually surfaces after
+// MaxAttempts tries.
+func TestClientRetryExhaustion(t *testing.T) {
+	h := &flakyHandler{fails: 1 << 30, ok: New()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL, Retry: fastRetry(3)}
+	_, err := cl.Health(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "status 503") {
+		t.Fatalf("err = %v, want surfaced 503", err)
+	}
+	if got := h.seen.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly MaxAttempts=3", got)
+	}
+}
+
+// TestClientTransportErrorRetryGating: a severed connection is an ambiguous
+// transport failure. The idempotent health call must consume its retry
+// budget; the non-idempotent uploads call must fail on the first attempt.
+func TestClientTransportErrorRetryGating(t *testing.T) {
+	var dials atomic.Int64
+	// A server that accepts and immediately severs connections produces
+	// transport errors after the request was (possibly) sent.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		dials.Add(1)
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("no hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close() // slam the door: client sees EOF with no status
+	}))
+	defer ts.Close()
+
+	cl := &Client{BaseURL: ts.URL, Retry: fastRetry(4)}
+	if _, err := cl.Health(context.Background()); err == nil {
+		t.Fatal("severed health should error")
+	}
+	if got := dials.Load(); got != 4 {
+		t.Fatalf("idempotent call attempted %d times, want 4 (retried)", got)
+	}
+
+	dials.Store(0)
+	err := cl.do(context.Background(), http.MethodPost, "/v1/uploads", "application/octet-stream", []byte{1}, nil, false)
+	if err == nil {
+		t.Fatal("severed upload should error")
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("non-idempotent call attempted %d times, want 1 (not retried)", got)
+	}
+}
+
+// TestClientInjectedFaultsRetried: pre-send injected failures never reach
+// the wire and are always retried, even for uploads.
+func TestClientInjectedFaultsRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	in := faults.New(3, map[string]faults.Site{
+		FaultRequest: {ErrProb: 1, MaxFaults: 2},
+	})
+	cl := &Client{BaseURL: ts.URL, Retry: fastRetry(5), Faults: in}
+	if err := cl.do(context.Background(), http.MethodPost, "/x", "", []byte{1}, nil, false); err != nil {
+		t.Fatalf("injected faults not retried: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (injections fired pre-send)", hits.Load())
+	}
+	if in.SiteStats(FaultRequest).Errors != 2 {
+		t.Fatalf("injector stats = %+v", in.SiteStats(FaultRequest))
+	}
+}
+
+// TestClientNoRetryByDefault: a nil Retry preserves single-attempt
+// behaviour.
+func TestClientNoRetryByDefault(t *testing.T) {
+	h := &flakyHandler{fails: 1, ok: New()}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	cl := &Client{BaseURL: ts.URL}
+	if _, err := cl.Health(context.Background()); err == nil {
+		t.Fatal("single 503 should surface without retries")
+	}
+	if h.seen.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", h.seen.Load())
+	}
+}
+
+// TestClientBackoffDeterministicAndBounded: the jittered schedule replays
+// identically for a fixed seed and stays inside [Base/2, Max).
+func TestClientBackoffDeterministicAndBounded(t *testing.T) {
+	p := ClientRetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, JitterSeed: 7}
+	seq := func() []time.Duration {
+		c := &Client{Retry: &p}
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = c.backoffDelay(p.withDefaults(), i+1)
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d diverged across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 5*time.Millisecond || a[i] >= 80*time.Millisecond {
+			t.Fatalf("delay %d = %v outside [Base/2, Max)", i, a[i])
+		}
+	}
+	// The window must actually grow with the attempt number.
+	if a[3] <= 10*time.Millisecond && a[4] <= 10*time.Millisecond && a[5] <= 10*time.Millisecond {
+		t.Fatalf("late delays never exceeded the base window: %v", a)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -17,6 +18,7 @@ func TestClientLifecycle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training test")
 	}
+	ctx := context.Background()
 	tab := dataset.TicTacToe()
 	r := stats.NewRNG(9)
 	train, test := tab.Split(r, 0.25)
@@ -40,14 +42,14 @@ func TestClientLifecycle(t *testing.T) {
 	cl := &Client{BaseURL: ts.URL}
 
 	// Errors surface as typed messages before setup.
-	if _, err := cl.Rules(); err == nil {
+	if _, err := cl.Rules(ctx); err == nil {
 		t.Fatal("rules before setup should error")
 	}
 
-	if err := cl.PublishEncoder(enc); err != nil {
+	if err := cl.PublishEncoder(ctx, enc); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.PublishModel(model); err != nil {
+	if err := cl.PublishModel(ctx, model); err != nil {
 		t.Fatal(err)
 	}
 	for pi, p := range parts {
@@ -58,11 +60,11 @@ func TestClientLifecycle(t *testing.T) {
 				Label: p.Data.Instances[i].Label, Activations: a,
 			})
 		}
-		if err := cl.UploadActivations(up); err != nil {
+		if err := cl.UploadActivations(ctx, up); err != nil {
 			t.Fatal(err)
 		}
 	}
-	h, err := cl.Health()
+	h, err := cl.Health(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestClientLifecycle(t *testing.T) {
 		t.Fatalf("health = %v", h)
 	}
 
-	tr, err := cl.Trace(test, 0.9, 2)
+	tr, err := cl.Trace(ctx, test, 0.9, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +88,7 @@ func TestClientLifecycle(t *testing.T) {
 		}
 	}
 
-	rls, err := cl.Rules()
+	rls, err := cl.Rules(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,28 +98,29 @@ func TestClientLifecycle(t *testing.T) {
 }
 
 func TestClientErrorPaths(t *testing.T) {
+	ctx := context.Background()
 	// Unreachable server: transport errors surface.
 	dead := &Client{BaseURL: "http://127.0.0.1:1"}
-	if err := dead.PublishEncoder(&dataset.Encoder{}); err == nil {
+	if err := dead.PublishEncoder(ctx, &dataset.Encoder{}); err == nil {
 		t.Fatal("unreachable PublishEncoder should error")
 	}
-	if _, err := dead.Health(); err == nil {
+	if _, err := dead.Health(ctx); err == nil {
 		t.Fatal("unreachable Health should error")
 	}
-	if _, err := dead.Rules(); err == nil {
+	if _, err := dead.Rules(ctx); err == nil {
 		t.Fatal("unreachable Rules should error")
 	}
-	if _, err := dead.Trace(&dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
+	if _, err := dead.Trace(ctx, &dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
 		t.Fatal("unreachable Trace should error")
 	}
 	m, err := nn.New(3, nn.Config{Hidden: []int{4}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := dead.PublishModel(m); err == nil {
+	if err := dead.PublishModel(ctx, m); err == nil {
 		t.Fatal("unreachable PublishModel should error")
 	}
-	if err := dead.UploadActivations(&protocol.Upload{RuleWidth: 4}); err == nil {
+	if err := dead.UploadActivations(ctx, &protocol.Upload{RuleWidth: 4}); err == nil {
 		t.Fatal("unreachable UploadActivations should error")
 	}
 
@@ -125,10 +128,10 @@ func TestClientErrorPaths(t *testing.T) {
 	ts := httptest.NewServer(New())
 	defer ts.Close()
 	cl := &Client{BaseURL: ts.URL, HTTPClient: ts.Client()}
-	if err := cl.UploadActivations(&protocol.Upload{RuleWidth: 4}); err == nil {
+	if err := cl.UploadActivations(ctx, &protocol.Upload{RuleWidth: 4}); err == nil {
 		t.Fatal("uploads before setup should error through client")
 	}
-	if _, err := cl.Trace(&dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
+	if _, err := cl.Trace(ctx, &dataset.Table{Schema: tinySchema()}, 0.9, 2); err == nil {
 		t.Fatal("trace before setup should error through client")
 	}
 }

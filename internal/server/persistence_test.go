@@ -117,7 +117,7 @@ func TestRestartReproducesTraceByteForByte(t *testing.T) {
 			t.Fatalf("trace diverged across snapshot recovery:\n%s\nvs\n%s", before.Result, after.Result)
 		}
 		// Health must agree the full federation came back.
-		h, err := (&Client{BaseURL: ts3.URL}).Health()
+		h, err := (&Client{BaseURL: ts3.URL}).Health(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +156,7 @@ func TestAsyncTraceFlow(t *testing.T) {
 	var job *TraceJobResponse
 	for {
 		var err error
-		if job, err = cl.TraceJob(env.ID); err != nil {
+		if job, err = cl.TraceJob(context.Background(), env.ID); err != nil {
 			t.Fatal(err)
 		}
 		if job.Status == "done" || time.Now().After(deadline) {
@@ -282,7 +282,7 @@ func TestStatsEndpoint(t *testing.T) {
 	traceRaw(t, ts, "/v1/trace?wait=60s", fx.testCSV)
 	traceRaw(t, ts, "/v1/trace?wait=60s", fx.testCSV) // cache hit
 
-	st, err := (&Client{BaseURL: ts.URL}).Stats()
+	st, err := (&Client{BaseURL: ts.URL}).Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

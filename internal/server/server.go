@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/protocol"
@@ -55,6 +56,16 @@ import (
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
+
+// FaultHandler is the fault-injection site at the top of every mutating
+// handler (and the trace submit/poll paths): an injected error there is
+// answered with 503 + Retry-After before the request has any effect, so a
+// retrying client always converges. Options.Faults of nil leaves it inert.
+const FaultHandler = "server.handler"
+
+// errDegraded is the rejection writes receive while the server is in
+// degraded mode (WAL persistently unwritable). It maps to 503 + Retry-After.
+var errDegraded = errors.New("server: degraded: WAL unavailable, writes rejected; retry later")
 
 // Options tunes the service. The zero value is a fully in-memory server
 // with production-shaped defaults.
@@ -89,6 +100,21 @@ type Options struct {
 	// SpanLogSize bounds the ring buffer of recent request trace trees
 	// served by GET /v1/traces/recent (default 64).
 	SpanLogSize int
+	// JobRetry re-runs failed trace jobs (panics are quarantined instead).
+	// The zero value disables retries.
+	JobRetry jobs.RetryPolicy
+	// DegradedThreshold is how many consecutive WAL append failures trip
+	// degraded mode (default 3): reads and traces keep working, writes are
+	// rejected with 503 + Retry-After until a probe append succeeds.
+	DegradedThreshold int
+	// ProbeInterval rate-limits degraded-mode recovery probes (default 1s).
+	ProbeInterval time.Duration
+	// RetryAfter is the Retry-After hint attached to 503 rejections
+	// (default 1s).
+	RetryAfter time.Duration
+	// Faults injects failures across the stack (store sites, jobs.run,
+	// server.handler) for resilience testing. Nil disables injection.
+	Faults *faults.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +145,15 @@ func (o Options) withDefaults() Options {
 	if o.SpanLogSize <= 0 {
 		o.SpanLogSize = 64
 	}
+	if o.DegradedThreshold <= 0 {
+		o.DegradedThreshold = 3
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
 	return o
 }
 
@@ -148,6 +183,14 @@ type Server struct {
 	store  *store.Store // nil when ephemeral
 	engine *jobs.Engine
 
+	// Degraded-mode state, guarded by mu (write lock): walFails counts
+	// consecutive WAL append failures; once it reaches DegradedThreshold the
+	// server stops touching the WAL for writes and instead probes it at most
+	// once per ProbeInterval, recovering when a probe append succeeds.
+	walFails  int
+	degraded  bool
+	lastProbe time.Time
+
 	mux      *http.ServeMux
 	requests *expvar.Map // per-route request counters (legacy /v1/stats shape)
 	started  time.Time
@@ -162,6 +205,9 @@ type Server struct {
 	inFlight *telemetry.Gauge
 	coreObs  *core.Obs
 	storeObs *store.Obs
+
+	degradedGauge   *telemetry.Gauge
+	degradedEntered *telemetry.Counter
 
 	closeOnce sync.Once
 	closeErr  error
@@ -194,6 +240,8 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.inFlight = s.reg.Gauge("ctfl_http_in_flight", "HTTP requests currently being served")
 	s.coreObs = core.NewObs(s.reg)
 	s.storeObs = store.NewObs(s.reg)
+	s.degradedGauge = s.reg.Gauge("ctfl_server_degraded", "1 while WAL writes are rejected (degraded mode)")
+	s.degradedEntered = s.reg.Counter("ctfl_server_degraded_entered_total", "times the server entered degraded mode")
 	// The server never trains, but registering the family keeps the full
 	// metric catalog visible to scrapes from process start.
 	_ = nn.TrainTelemetry(s.reg)
@@ -201,11 +249,15 @@ func NewWithOptions(opts Options) (*Server, error) {
 		Workers:    opts.Workers,
 		QueueDepth: opts.QueueDepth,
 		JobTimeout: opts.JobTimeout,
+		Retry:      opts.JobRetry,
+		Faults:     opts.Faults,
 		Obs:        jobs.NewObs(s.reg),
 	})
 
 	if opts.DataDir != "" {
-		st, events, err := store.Open(opts.DataDir, store.Options{Sync: !opts.NoSync, Logf: opts.Logf, Obs: s.storeObs})
+		st, events, err := store.Open(opts.DataDir, store.Options{
+			Sync: !opts.NoSync, Logf: opts.Logf, Obs: s.storeObs, Faults: opts.Faults,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -301,6 +353,9 @@ func (s *Server) applyEvent(ev store.Event) error {
 		}
 		s.applyUpload(up, ev.Payload)
 		return nil
+	case store.EventNop:
+		// Degraded-mode health probes carry no state.
+		return nil
 	default:
 		return fmt.Errorf("unknown event type %d", ev.Type)
 	}
@@ -357,33 +412,81 @@ func (s *Server) snapshotEventsLocked() []store.Event {
 	return events
 }
 
-// persistLocked write-ahead-logs one event and compacts the WAL when it
-// outgrows the configured bound. Caller holds the write lock; on error the
-// caller must not apply the mutation.
-func (s *Server) persistLocked(ev store.Event) error {
+// persistLocked write-ahead-logs a mutation's events atomically (one batch,
+// one write) and tracks WAL health for degraded mode. Caller holds the write
+// lock; on error the caller must not apply the mutation — every persist
+// failure happens before any state change, so the client may simply retry.
+func (s *Server) persistLocked(evs ...store.Event) error {
 	if s.store == nil {
 		return nil
 	}
-	if err := s.store.Append(ev); err != nil {
+	if s.degraded {
+		if !s.probeLocked() {
+			return errDegraded
+		}
+	}
+	if err := s.store.AppendBatch(evs); err != nil {
+		s.walFails++
+		if !s.degraded && s.walFails >= s.opts.DegradedThreshold {
+			s.degraded = true
+			s.lastProbe = time.Now()
+			s.degradedEntered.Inc()
+			s.degradedGauge.Set(1)
+			s.log.Warn("entering degraded mode: WAL appends failing persistently",
+				"consecutive_failures", s.walFails, "err", err)
+		}
 		return err
 	}
-	if s.store.WALSize() > s.opts.CompactBytes {
-		// Compact the state *including* the event just logged. The apply
-		// happens after persist, so replicate it into the snapshot input.
-		events := s.snapshotEventsLocked()
-		switch ev.Type {
-		case store.EventEncoder:
-			events = []store.Event{ev}
-		case store.EventModel:
-			events = append(events[:1:1], ev)
-		case store.EventUpload:
-			events = append(events, ev)
-		}
-		if err := s.store.Compact(events); err != nil {
-			s.opts.Logf("server: wal compaction failed (continuing on wal): %v", err)
-		}
-	}
+	s.walFails = 0
 	return nil
+}
+
+// probeLocked attempts degraded-mode recovery at most once per
+// ProbeInterval: a no-op append proving the WAL is writable again. Reports
+// whether the server is healthy after the call.
+func (s *Server) probeLocked() bool {
+	if time.Since(s.lastProbe) < s.opts.ProbeInterval {
+		return false
+	}
+	s.lastProbe = time.Now()
+	if err := s.store.Append(store.Event{Type: store.EventNop}); err != nil {
+		return false
+	}
+	s.degraded = false
+	s.walFails = 0
+	s.degradedGauge.Set(0)
+	s.log.Info("degraded mode cleared: WAL append probe succeeded")
+	return true
+}
+
+// maybeCompactLocked folds the WAL into a snapshot once it outgrows the
+// configured bound. Runs after the mutation is applied, so the snapshot
+// input is simply the current state. Compaction failure is survivable — the
+// WAL keeps growing and the next mutation retries.
+func (s *Server) maybeCompactLocked() {
+	if s.store == nil || s.store.WALSize() <= s.opts.CompactBytes {
+		return
+	}
+	if err := s.store.Compact(s.snapshotEventsLocked()); err != nil {
+		s.opts.Logf("server: wal compaction failed (continuing on wal): %v", err)
+	}
+}
+
+// unavailable answers 503 with the configured Retry-After hint: the
+// degraded-mode and injected-fault rejection shape retrying clients honour.
+func (s *Server) unavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+	httpError(w, http.StatusServiceUnavailable, err)
+}
+
+// injectFault fires the server.handler site; when it injects, the request
+// is rejected with 503 + Retry-After before it has any effect.
+func (s *Server) injectFault(w http.ResponseWriter) bool {
+	if err := s.opts.Faults.Err(FaultHandler); err != nil {
+		s.unavailable(w, err)
+		return true
+	}
+	return false
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -423,6 +526,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"uploads":      len(s.st.uploads),
 		"participants": s.st.parts,
 		"durable":      s.store != nil,
+		"degraded":     s.degraded,
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, state)
@@ -431,6 +535,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.injectFault(w) {
 		return
 	}
 	raw, err := s.readBody(w, r)
@@ -446,16 +553,20 @@ func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.persistLocked(store.Event{Type: store.EventEncoder, Payload: raw}); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.unavailable(w, err)
 		return
 	}
 	s.applyEncoder(&enc, raw)
+	s.maybeCompactLocked()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.injectFault(w) {
 		return
 	}
 	raw, err := s.readBody(w, r)
@@ -480,16 +591,20 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.persistLocked(store.Event{Type: store.EventModel, Payload: raw}); err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.unavailable(w, err)
 		return
 	}
 	s.applyModel(m, raw)
+	s.maybeCompactLocked()
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.injectFault(w) {
 		return
 	}
 	// Snapshot the rule width, then decode and validate the whole batch
@@ -541,13 +656,21 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, errors.New("federation state changed during upload; resubmit"))
 		return
 	}
+	// Persist the whole batch atomically, then apply: a failed persist leaves
+	// no partial prefix in the WAL or in memory, so a client retry of the
+	// same batch cannot double-apply frames.
+	evs := make([]store.Event, len(frames))
+	for i, f := range frames {
+		evs[i] = store.Event{Type: store.EventUpload, Payload: f}
+	}
+	if err := s.persistLocked(evs...); err != nil {
+		s.unavailable(w, err)
+		return
+	}
 	for i, up := range ups {
-		if err := s.persistLocked(store.Event{Type: store.EventUpload, Payload: frames[i]}); err != nil {
-			httpError(w, http.StatusInternalServerError, err)
-			return
-		}
 		s.applyUpload(up, frames[i])
 	}
+	s.maybeCompactLocked()
 	writeJSON(w, http.StatusOK, map[string]int{"frames": len(ups), "records": len(s.st.uploads)})
 }
 
@@ -586,6 +709,9 @@ func jobResponse(v jobs.View) TraceJobResponse {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.injectFault(w) {
 		return
 	}
 	tau, err := queryFloat(r, "tau", 0.9)
@@ -715,6 +841,9 @@ func (s *Server) handleTraceJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	if s.injectFault(w) {
+		return
+	}
 	job, ok := s.engine.Get(r.PathValue("id"))
 	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown trace job %q", r.PathValue("id")))
@@ -801,6 +930,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"model":        s.st.model != nil,
 		"records":      len(s.st.uploads),
 		"participants": s.st.parts,
+		"degraded":     s.degraded,
 	}
 	s.mu.RUnlock()
 	resp := StatsResponse{

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -66,9 +67,10 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 	resp.Body.Close()
 
 	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
 
 	// Prometheus exposition covers every subsystem's metric family.
-	text, err := c.Metrics()
+	text, err := c.Metrics(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 	}
 
 	// JSON twin inside /v1/stats.
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 
 	// The trace request produced the full span chain: HTTP root → async
 	// job → tracer pass.
-	tr, err := c.TracesRecent(0)
+	tr, err := c.TracesRecent(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,6 +188,7 @@ func TestConcurrentScrapeWhileUploading(t *testing.T) {
 	postFixture(t, ts, fx)
 
 	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	const iters = 8
 
@@ -210,9 +213,9 @@ func TestConcurrentScrapeWhileUploading(t *testing.T) {
 		}
 	}()
 	for _, scrape := range []func() error{
-		func() error { _, err := c.Metrics(); return err },
-		func() error { _, err := c.Stats(); return err },
-		func() error { _, err := c.TracesRecent(10); return err },
+		func() error { _, err := c.Metrics(ctx); return err },
+		func() error { _, err := c.Stats(ctx); return err },
+		func() error { _, err := c.TracesRecent(ctx, 10); return err },
 	} {
 		wg.Add(1)
 		go func(f func() error) {

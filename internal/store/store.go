@@ -40,6 +40,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Event types. The store does not interpret payloads; these constants are
@@ -51,6 +53,30 @@ const (
 	EventModel byte = 2
 	// EventUpload carries one canonical protocol upload frame.
 	EventUpload byte = 3
+	// EventNop carries nothing: it is the degraded-mode health probe — a
+	// minimal append whose only purpose is to prove the WAL is writable
+	// again. Replay treats it as a no-op.
+	EventNop byte = 4
+)
+
+// Fault-injection site names (see internal/faults). Each names the exact
+// operation the injector may break; an Options.Faults of nil leaves every
+// site inert at zero cost.
+const (
+	// FaultAppend fails a WAL append before any byte is written, so a
+	// reported failure never leaves a partial record behind.
+	FaultAppend = "store.append"
+	// FaultAppendCorrupt flips a byte in the encoded record(s) before the
+	// write — simulated silent disk corruption; the append still reports
+	// success and recovery happens at replay time (truncation).
+	FaultAppendCorrupt = "store.append.corrupt"
+	// FaultCompact fails Compact before the snapshot temp file is created.
+	FaultCompact = "store.compact"
+	// FaultSnapshotCorrupt flips a byte in the encoded snapshot before it
+	// is written — replay must fall back to the previous version.
+	FaultSnapshotCorrupt = "store.snapshot.corrupt"
+	// FaultRename fails the atomic snapshot publish (the rename).
+	FaultRename = "store.rename"
 )
 
 // Event is one durable lifecycle record.
@@ -80,6 +106,9 @@ type Options struct {
 	// Obs receives store telemetry. Nil disables it (zero overhead beyond
 	// one pointer check per instrument).
 	Obs *Obs
+	// Faults injects failures at the Fault* sites above for resilience
+	// testing. Nil (the production default) disables injection entirely.
+	Faults *faults.Injector
 }
 
 // Store is a durable event log rooted at one data directory. All methods
@@ -301,16 +330,36 @@ func readRecord(r io.Reader) (Event, error) {
 // Options.Sync, the disk) before Append returns, so callers may expose the
 // event's effects only after a successful return — write-ahead semantics.
 func (s *Store) Append(ev Event) error {
+	return s.AppendBatch([]Event{ev})
+}
+
+// AppendBatch durably logs a group of events with all-or-nothing reporting:
+// the records are encoded into one buffer and written with a single write
+// call, and any reported failure happens before a byte reaches the WAL.
+// Callers can therefore retry a failed batch without risking duplicate
+// application of a prefix — the property the server's upload handler (and
+// every retrying client above it) depends on.
+func (s *Store) AppendBatch(evs []Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errors.New("store: closed")
 	}
+	if err := s.opts.Faults.Err(FaultAppend); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
 	var t0 time.Time
 	if s.opts.Obs.AppendSeconds != nil {
 		t0 = time.Now()
 	}
-	rec := appendRecord(nil, ev)
+	var rec []byte
+	for _, ev := range evs {
+		rec = appendRecord(rec, ev)
+	}
+	rec = s.opts.Faults.Corrupt(FaultAppendCorrupt, rec)
 	if _, err := s.wal.Write(rec); err != nil {
 		return fmt.Errorf("store: wal append: %w", err)
 	}
@@ -320,7 +369,7 @@ func (s *Store) Append(ev Event) error {
 		}
 	}
 	s.walSize += int64(len(rec))
-	s.walEvents++
+	s.walEvents += int64(len(evs))
 	if s.opts.Obs.AppendSeconds != nil {
 		s.opts.Obs.AppendSeconds.ObserveSince(t0)
 		s.opts.Obs.AppendBytes.Observe(float64(len(rec)))
@@ -347,6 +396,9 @@ func (s *Store) Compact(events []Event) error {
 	if s.closed {
 		return errors.New("store: closed")
 	}
+	if err := s.opts.Faults.Err(FaultCompact); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
 	var t0 time.Time
 	if s.opts.Obs.CompactSeconds != nil {
 		t0 = time.Now()
@@ -363,6 +415,7 @@ func (s *Store) Compact(events []Event) error {
 	for _, ev := range events {
 		buf = appendRecord(buf, ev)
 	}
+	buf = s.opts.Faults.Corrupt(FaultSnapshotCorrupt, buf)
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("store: snapshot write: %w", err)
@@ -373,6 +426,9 @@ func (s *Store) Compact(events []Event) error {
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.opts.Faults.Err(FaultRename); err != nil {
+		return fmt.Errorf("store: snapshot publish: %w", err)
 	}
 	if err := os.Rename(tmpName, s.snapshotPath(seq)); err != nil {
 		return fmt.Errorf("store: snapshot publish: %w", err)

@@ -1,0 +1,166 @@
+package valuation
+
+// Checkpoint/resume for the coalition-valuation oracle. Every coalition
+// utility is one FedAvg retraining — minutes of work on real federations —
+// so a killed Shapley or least-core run used to forfeit everything it had
+// computed. A Checkpoint persists each (mask, utility) pair through the
+// same WAL+snapshot store that backs the server, and AttachCheckpoint seeds
+// a fresh oracle's cache from it: the resumed run replays restored masks as
+// cache hits and retrains only what is missing. Utilities are deterministic
+// functions of the mask, so a resumed run's scores are bit-identical to an
+// uninterrupted one.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+)
+
+// eventUtility is the checkpoint store's only event type: one memoized
+// coalition utility. The payload is 16 bytes: the coalition mask then the
+// IEEE-754 bits of its utility, both little-endian. Float64bits (not a
+// decimal rendering) keeps the resume bit-identical.
+const eventUtility byte = 16
+
+const utilityPayloadLen = 8 + 8
+
+// CheckpointOptions configures OpenCheckpoint.
+type CheckpointOptions struct {
+	// Sync fsyncs after every recorded utility. Each record costs a full
+	// coalition training anyway, so the default true is cheap insurance.
+	Sync bool
+	// NoSync disables the fsync-per-record default (tests, benchmarks).
+	NoSync bool
+	// Logf receives recovery and write-failure diagnostics. Defaults to the
+	// store's default logger.
+	Logf func(format string, args ...any)
+	// Obs receives the underlying store's telemetry; nil disables it.
+	Obs *store.Obs
+	// Faults injects failures at the store's sites, for resilience testing.
+	Faults *faults.Injector
+}
+
+// Checkpoint is a durable memo of coalition utilities, attachable to an
+// Oracle. Safe for concurrent use.
+type Checkpoint struct {
+	st   *store.Store
+	logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	entries map[uint64]float64
+}
+
+// OpenCheckpoint opens (or creates) a checkpoint directory and replays its
+// recorded utilities. Unknown event types and short payloads are skipped
+// with a diagnostic — a checkpoint is a cache, so losing records means
+// recomputation, never wrong results. A torn tail record was already
+// truncated by the store's replay.
+func OpenCheckpoint(dir string, opts CheckpointOptions) (*Checkpoint, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	st, events, err := store.Open(dir, store.Options{
+		Sync:   !opts.NoSync,
+		Logf:   opts.Logf,
+		Obs:    opts.Obs,
+		Faults: opts.Faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("valuation: checkpoint: %w", err)
+	}
+	cp := &Checkpoint{st: st, entries: make(map[uint64]float64, len(events)), logf: logf}
+	for _, ev := range events {
+		if ev.Type != eventUtility || len(ev.Payload) != utilityPayloadLen {
+			cp.logf("valuation: checkpoint: skipping foreign record (type %d, %d bytes)", ev.Type, len(ev.Payload))
+			continue
+		}
+		mask := binary.LittleEndian.Uint64(ev.Payload)
+		u := math.Float64frombits(binary.LittleEndian.Uint64(ev.Payload[8:]))
+		cp.entries[mask] = u
+	}
+	return cp, nil
+}
+
+// Len reports the number of restored + recorded utilities.
+func (cp *Checkpoint) Len() int {
+	if cp == nil {
+		return 0
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return len(cp.entries)
+}
+
+// record appends one utility to the WAL. The write is the durability of a
+// whole coalition training; a failure is logged, not returned — the
+// checkpoint is an optimization, and the in-memory cache still holds the
+// value for this process's lifetime.
+func (cp *Checkpoint) record(mask uint64, u float64) bool {
+	cp.mu.Lock()
+	cp.entries[mask] = u
+	cp.mu.Unlock()
+	payload := make([]byte, utilityPayloadLen)
+	binary.LittleEndian.PutUint64(payload, mask)
+	binary.LittleEndian.PutUint64(payload[8:], math.Float64bits(u))
+	if err := cp.st.Append(store.Event{Type: eventUtility, Payload: payload}); err != nil {
+		cp.logf("valuation: checkpoint: recording coalition %#x failed: %v", mask, err)
+		return false
+	}
+	return true
+}
+
+// Compact folds the WAL into a snapshot with one record per distinct mask
+// (re-evaluations never happen, but a fault-retried append may have
+// duplicated a record; the map form drops duplicates).
+func (cp *Checkpoint) Compact() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	events := make([]store.Event, 0, len(cp.entries))
+	for mask, u := range cp.entries {
+		payload := make([]byte, utilityPayloadLen)
+		binary.LittleEndian.PutUint64(payload, mask)
+		binary.LittleEndian.PutUint64(payload[8:], math.Float64bits(u))
+		events = append(events, store.Event{Type: eventUtility, Payload: payload})
+	}
+	return cp.st.Compact(events)
+}
+
+// Close releases the underlying store. Recorded utilities stay on disk for
+// the next OpenCheckpoint.
+func (cp *Checkpoint) Close() error { return cp.st.Close() }
+
+// AttachCheckpoint seeds the oracle's cache with the checkpoint's restored
+// utilities and routes every future cache fill into it. It returns the
+// number of utilities restored (masks outside the federation are skipped —
+// a checkpoint from a differently-sized run must not alias coalitions).
+// Attach before the first Utility/EvalBatch call; the oracle does not lock
+// against concurrent attachment.
+func (o *Oracle) AttachCheckpoint(cp *Checkpoint) int {
+	o.ckpt = cp
+	if cp == nil {
+		return 0
+	}
+	restored := 0
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	for mask, u := range cp.entries {
+		if mask == 0 || o.checkMask(mask) != nil {
+			o.obs().CheckpointSkipped.Inc()
+			continue
+		}
+		sh := o.shard(mask)
+		sh.mu.Lock()
+		if _, ok := sh.done[mask]; !ok {
+			sh.done[mask] = u
+			restored++
+		}
+		sh.mu.Unlock()
+	}
+	o.obs().CheckpointRestored.Add(int64(restored))
+	return restored
+}

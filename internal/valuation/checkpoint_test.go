@@ -1,0 +1,323 @@
+package valuation
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// synthUtility is a deterministic, mask-dependent utility with enough
+// structure that a wrong or stale cached value shows up in the scores.
+func synthUtility(mask uint64) (float64, error) {
+	h := mask * 0x9E3779B97F4A7C15
+	return float64(bits.OnesCount64(mask)) + float64(h>>40)/float64(1<<24), nil
+}
+
+// trackedOracle wraps synthUtility with a record of which masks actually
+// trained.
+type trackedOracle struct {
+	*Oracle
+	mu      sync.Mutex
+	trained map[uint64]int
+}
+
+func newTrackedOracle(n int) *trackedOracle {
+	tr := &trackedOracle{trained: make(map[uint64]int)}
+	tr.Oracle = newSyntheticOracle(n, func(mask uint64) (float64, error) {
+		tr.mu.Lock()
+		tr.trained[mask]++
+		tr.mu.Unlock()
+		return synthUtility(mask)
+	})
+	return tr
+}
+
+func shapleyScores(t *testing.T, o *trackedOracle, n int) []float64 {
+	t.Helper()
+	scores, err := SampledShapley(n, o.Utility, ShapleyConfig{
+		Permutations:  6,
+		TruncationEps: 0.01,
+		Rand:          rand.New(rand.NewSource(7)),
+		Workers:       4,
+		Warm:          o.EvalBatch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scores
+}
+
+// TestCheckpointResumeBitIdentical is the headline resilience property: a
+// Shapley run killed partway resumes from its checkpoint with (a) scores
+// bit-identical to an uninterrupted run and (b) zero retraining of any
+// checkpointed coalition — proven by the trainFn call log and the restored /
+// cache-hit telemetry.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	const n = 10
+	dir := t.TempDir()
+
+	// Uninterrupted reference run.
+	ref := newTrackedOracle(n)
+	want := shapleyScores(t, ref, n)
+
+	// Run 1: checkpointing oracle, killed after the warm-up batch (a real
+	// kill can land anywhere; the cut point only changes how much is saved).
+	cp1, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := newTrackedOracle(n)
+	if got := first.AttachCheckpoint(cp1); got != 0 {
+		t.Fatalf("fresh checkpoint restored %d entries, want 0", got)
+	}
+	if err := first.EvalBatch(PlanLeaveOneOut(n)); err != nil {
+		t.Fatal(err)
+	}
+	saved := cp1.Len()
+	if saved != first.Evals() {
+		t.Fatalf("checkpoint holds %d entries, want every one of the %d evals", saved, first.Evals())
+	}
+	if err := cp1.Close(); err != nil { // the "kill"
+		t.Fatal(err)
+	}
+
+	// Run 2: resume into a fresh process-worth of state.
+	reg := telemetry.NewRegistry()
+	cp2, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != saved {
+		t.Fatalf("reopened checkpoint holds %d entries, want %d", cp2.Len(), saved)
+	}
+	restoredMasks := make(map[uint64]bool, cp2.Len())
+	cp2.mu.Lock()
+	for mask := range cp2.entries {
+		restoredMasks[mask] = true
+	}
+	cp2.mu.Unlock()
+	resumed := newTrackedOracle(n)
+	resumed.Obs = NewObs(reg)
+	restored := resumed.AttachCheckpoint(cp2)
+	if restored != saved {
+		t.Fatalf("restored %d utilities, want %d", restored, saved)
+	}
+	got := shapleyScores(t, resumed, n)
+
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("score[%d] = %v after resume, want bit-identical %v", i, got[i], want[i])
+		}
+	}
+	// No checkpointed coalition retrained — the trainFn call log is the
+	// ground truth.
+	for mask := range restoredMasks {
+		if c := resumed.trained[mask]; c != 0 {
+			t.Errorf("coalition %#x retrained %d times despite checkpoint", mask, c)
+		}
+	}
+	// And the eval count shrank by exactly the restored masks the reference
+	// run needed (the killed run may also have saved masks Shapley never
+	// asks for).
+	overlap := 0
+	for mask := range restoredMasks {
+		if ref.trained[mask] != 0 {
+			overlap++
+		}
+	}
+	if resumed.Evals() != ref.Evals()-overlap {
+		t.Errorf("resumed run trained %d coalitions, want %d (reference %d − %d already checkpointed)",
+			resumed.Evals(), ref.Evals()-overlap, ref.Evals(), overlap)
+	}
+	// Telemetry proves the same story to an operator.
+	snap := reg.Snapshot()
+	if v, _ := snap["ctfl_valuation_checkpoint_restored_total"].(int64); v != int64(restored) {
+		t.Errorf("checkpoint_restored_total = %v, want %d", snap["ctfl_valuation_checkpoint_restored_total"], restored)
+	}
+	if v, _ := snap["ctfl_valuation_checkpoint_writes_total"].(int64); v != int64(resumed.Evals()) {
+		t.Errorf("checkpoint_writes_total = %v, want %d (every new eval recorded)", v, resumed.Evals())
+	}
+}
+
+// TestCheckpointRecordSurvivesInjectedAppendFaults: a failing checkpoint
+// write must not fail the valuation — the run continues on the in-memory
+// cache and the lost records are simply recomputed after a restart.
+func TestCheckpointRecordSurvivesInjectedAppendFaults(t *testing.T) {
+	const n = 6
+	dir := t.TempDir()
+	in := faults.New(11, map[string]faults.Site{
+		store.FaultAppend: {ErrProb: 1, MaxFaults: 2},
+	})
+	cp, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf, Faults: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newTrackedOracle(n)
+	o.AttachCheckpoint(cp)
+	if err := o.EvalBatch(PlanIndividual(n)); err != nil {
+		t.Fatal(err)
+	}
+	// All n utilities are served despite the two dropped records...
+	for i := 0; i < n; i++ {
+		u, err := o.Utility(1 << uint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := synthUtility(1 << uint(i))
+		if u != want {
+			t.Fatalf("utility(%d) = %v, want %v", i, u, want)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...and a reopened checkpoint holds exactly the n−2 that reached disk.
+	cp2, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != n-2 {
+		t.Fatalf("reopened checkpoint holds %d entries, want %d", cp2.Len(), n-2)
+	}
+	resumed := newTrackedOracle(n)
+	if got := resumed.AttachCheckpoint(cp2); got != n-2 {
+		t.Fatalf("restored %d, want %d", got, n-2)
+	}
+	if err := resumed.EvalBatch(PlanIndividual(n)); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Evals() != 2 {
+		t.Fatalf("resumed run trained %d coalitions, want exactly the 2 lost records", resumed.Evals())
+	}
+}
+
+// TestCheckpointForeignMasksSkipped: a checkpoint from a larger federation
+// must not alias coalitions in a smaller one.
+func TestCheckpointForeignMasksSkipped(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := newTrackedOracle(8)
+	big.AttachCheckpoint(cp)
+	if err := big.EvalBatch(PlanLeaveOneOut(8)); err != nil { // masks touch bits 0..7
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp2, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	reg := telemetry.NewRegistry()
+	small := newTrackedOracle(4)
+	small.Obs = NewObs(reg)
+	restored := small.AttachCheckpoint(cp2)
+	// Every leave-one-out mask of an 8-player game has a bit above player 3.
+	if restored != 0 {
+		t.Fatalf("restored %d foreign masks into a 4-player oracle", restored)
+	}
+	if v, _ := reg.Snapshot()["ctfl_valuation_checkpoint_skipped_total"].(int64); v != int64(cp2.Len()) {
+		t.Errorf("checkpoint_skipped_total = %v, want %d", v, cp2.Len())
+	}
+	if err := small.EvalBatch(PlanIndividual(4)); err != nil {
+		t.Fatal(err)
+	}
+	if small.Evals() != 4 {
+		t.Fatalf("small oracle trained %d coalitions, want all 4", small.Evals())
+	}
+}
+
+// TestCheckpointCompact: compaction folds the WAL into a snapshot without
+// losing entries, and duplicate records collapse.
+func TestCheckpointCompact(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newTrackedOracle(5)
+	o.AttachCheckpoint(cp)
+	if err := o.EvalBatch(PlanLeaveOneOut(5)); err != nil {
+		t.Fatal(err)
+	}
+	want := cp.Len()
+	if err := cp.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenCheckpoint(dir, CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Len() != want {
+		t.Fatalf("post-compact checkpoint holds %d entries, want %d", cp2.Len(), want)
+	}
+	resumed := newTrackedOracle(5)
+	if got := resumed.AttachCheckpoint(cp2); got != want {
+		t.Fatalf("restored %d after compaction, want %d", got, want)
+	}
+	if err := resumed.EvalBatch(PlanLeaveOneOut(5)); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Evals() != 0 {
+		t.Fatalf("resumed run retrained %d coalitions after compaction, want 0", resumed.Evals())
+	}
+}
+
+// TestUtilityCacheHitZeroAlloc pins the resume-speed contract: serving a
+// cached utility — the operation a resumed run performs thousands of times —
+// allocates nothing, with or without a checkpoint attached (cache hits are
+// never re-recorded).
+func TestUtilityCacheHitZeroAlloc(t *testing.T) {
+	o := newSyntheticOracle(8, synthUtility)
+	const mask = uint64(0b1011)
+	if _, err := o.Utility(mask); err != nil { // fill the cache
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := o.Utility(mask); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("cache-hit Utility allocates %v/op, want 0", n)
+	}
+
+	cp, err := OpenCheckpoint(t.TempDir(), CheckpointOptions{NoSync: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	o2 := newSyntheticOracle(8, synthUtility)
+	o2.AttachCheckpoint(cp)
+	if _, err := o2.Utility(mask); err != nil {
+		t.Fatal(err)
+	}
+	writes := cp.Len()
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := o2.Utility(mask); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("cache-hit Utility with checkpoint allocates %v/op, want 0", n)
+	}
+	if cp.Len() != writes {
+		t.Fatalf("cache hits appended %d checkpoint records", cp.Len()-writes)
+	}
+}

@@ -6,6 +6,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# `check.sh chaos` runs only the fault-injection soak: the full stack under
+# -race with deterministic faults at every site (WAL, compaction, snapshot
+# rename, job errors + panics, HTTP handlers, client requests), asserting
+# the traced factors stay bit-identical to a fault-free run.
+if [[ "${1:-}" == "chaos" ]]; then
+    echo "== chaos soak (-race, deterministic fault injection, fixed seed)"
+    go test -race -run 'TestChaosSoak' -count=1 -v ./internal/server/
+    exit 0
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -25,8 +35,10 @@ go test -race -short ./internal/experiments/...
 echo "== go test ./... (full suite)"
 go test ./...
 
-echo "== zero-alloc pin (training hot loop with telemetry disabled)"
+echo "== zero-alloc pins (training hot loop; disabled fault injector; cached utility)"
 go test -run=TestTrainInnerLoopZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'PASS|FAIL|allocates'
+go test -run=TestDisabledInjectorZeroAlloc -count=1 -v ./internal/faults/ | grep -E 'PASS|FAIL|allocates'
+go test -run=TestUtilityCacheHitZeroAlloc -count=1 -v ./internal/valuation/ | grep -E 'PASS|FAIL|allocates'
 
 echo "== bench smoke (1 iteration per hot-path benchmark)"
 go test -run=NONE -bench='BenchmarkTraceIndexed|BenchmarkTrainEpochs' -benchtime=1x \

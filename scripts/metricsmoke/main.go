@@ -21,7 +21,7 @@ import (
 
 // requiredFamilies is the metric catalog contract: one representative name
 // per instrumented subsystem (HTTP routes, job engine, durable store,
-// tracer, and training).
+// tracer, training, and the resilience layer).
 var requiredFamilies = []string{
 	"ctfl_http_requests_total",
 	"ctfl_http_request_seconds",
@@ -29,12 +29,15 @@ var requiredFamilies = []string{
 	"ctfl_jobs_submitted_total",
 	"ctfl_jobs_queue_depth",
 	"ctfl_jobs_wait_seconds",
+	"ctfl_jobs_retries_total",
+	"ctfl_jobs_quarantined_total",
 	"ctfl_store_append_seconds",
 	"ctfl_store_wal_bytes",
 	"ctfl_tracer_queries_total",
 	"ctfl_tracer_trace_seconds",
 	"ctfl_train_epochs_total",
 	"ctfl_train_epoch_seconds",
+	"ctfl_server_degraded",
 }
 
 func main() {
