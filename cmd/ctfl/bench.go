@@ -56,12 +56,13 @@ type benchReport struct {
 // end-to-end Table II pipeline, and the parallel coalition-valuation engine.
 const defaultBenchRegex = "BenchmarkTrace|BenchmarkNewTracer|BenchmarkTrainEpochs|" +
 	"BenchmarkPredictBatch|BenchmarkScoreAndActivations|BenchmarkTable2|BenchmarkTracingThroughput|" +
-	"BenchmarkOracleBatch|BenchmarkSampledShapleyParallel"
+	"BenchmarkOracleBatch|BenchmarkSampledShapleyParallel|" +
+	"BenchmarkTraceResult|BenchmarkUploadIngest|BenchmarkServerPredict|BenchmarkServerUploadIngest"
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	benchRe := fs.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
-	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,./internal/valuation/,.", "comma-separated packages to benchmark")
+	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,./internal/valuation/,./internal/protocol/,./internal/server/,.", "comma-separated packages to benchmark")
 	before := fs.String("before", "", "comma-separated files or globs of saved `go test -bench` output to compare against")
 	out := fs.String("o", "", "write the JSON report here (default: stdout)")
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 2s, 100x)")
@@ -169,10 +170,12 @@ func cmdBench(args []string) error {
 // benchLine matches standard `go test -bench -benchmem` result lines, e.g.
 //
 //	BenchmarkTraceIndexed-8   132   8891909 ns/op   2654486 B/op   6566 allocs/op
+//	BenchmarkUploadIngest-8   658   1586672 ns/op   10.67 MB/s   760856 B/op   1576 allocs/op
 //
-// The -N GOMAXPROCS suffix is recorded as Procs but stripped from the name,
-// so baselines recorded on a different core count still join by name.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// The throughput column benchmarks with b.SetBytes emit is skipped. The -N
+// GOMAXPROCS suffix is recorded as Procs but stripped from the name, so
+// baselines recorded on a different core count still join by name.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-(\d+))?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func parseBenchOutput(out string) []benchEntry {
 	var entries []benchEntry

@@ -157,3 +157,25 @@ func TestRunQualityEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseBenchOutputThroughputColumn(t *testing.T) {
+	out := `goos: linux
+BenchmarkUploadIngest/path=v1-8   	     658	 1586672 ns/op	  10.67 MB/s	  760856 B/op	    1576 allocs/op
+BenchmarkTraceResultEncode/codec=binary 	 1391853	     740.2 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+	entries := parseBenchOutput(out)
+	if len(entries) != 2 {
+		t.Fatalf("parsed %d entries, want 2", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "BenchmarkUploadIngest/path=v1" || e.Procs != 8 {
+		t.Fatalf("entry 0 = %+v", e)
+	}
+	if e.NsOp != 1586672 || e.BytesOp != 760856 || e.AllocsOp != 1576 {
+		t.Fatalf("MB/s column broke the numbers: %+v", e)
+	}
+	if entries[1].BytesOp != 0 || entries[1].AllocsOp != 0 {
+		t.Fatalf("entry 1 = %+v", entries[1])
+	}
+}

@@ -6,7 +6,8 @@
 //	        [-queue 64] [-job-timeout 2m] [-max-body 67108864]
 //	        [-compact-bytes 8388608] [-no-sync] [-pprof] [-log-json]
 //	        [-job-retries 3] [-degraded-threshold 3] [-probe-interval 1s]
-//	        [-retry-after 1s]
+//	        [-retry-after 1s] [-read-timeout 5m] [-write-timeout 10m]
+//	        [-idle-timeout 2m]
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
@@ -27,6 +28,7 @@
 //	POST /v1/encoder       publish the predicate encoding (JSON)
 //	POST /v1/model         publish the trained rule-based model (binary)
 //	POST /v1/uploads       register participant activation frames
+//	POST /v1/predict       score feature rows (binary CTFL frame or JSON)
 //	POST /v1/trace         submit a test set (CSV) → async job (?wait= to block)
 //	GET  /v1/trace/{id}    poll a trace job
 //	GET  /v1/rules         inspect the extracted rules
@@ -71,6 +73,9 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", time.Second, "min interval between degraded-mode recovery probes")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 write rejections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "max time to read a request incl. body (0 = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "max time to write a response; must exceed the longest ?wait= long-poll (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 = unlimited)")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -120,9 +125,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Slow-client protection: a peer that stalls mid-request or never reads
+	// its response is cut off instead of pinning a connection (and its
+	// handler goroutine) forever. The write timeout is generous because
+	// /v1/trace?wait= long-polls inside the response window.
 	srv := &http.Server{
 		Handler:           handlerMux,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

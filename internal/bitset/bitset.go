@@ -9,6 +9,7 @@
 package bitset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -42,6 +43,52 @@ func FromIndices(width int, indices ...int) *Set {
 		s.Set(i)
 	}
 	return s
+}
+
+// MakeSlab returns n width-bit Sets backed by one shared words allocation —
+// the bulk form of calling New n times. Decoding a batch of activation
+// records into a slab costs two allocations total instead of two per record.
+// Each Set is fully independent bit-wise (the word ranges do not overlap);
+// callers keep pointers into the returned slice.
+func MakeSlab(n, width int) []Set {
+	if n < 0 || width < 0 {
+		panic("bitset: negative slab size")
+	}
+	wpb := (width + wordBits - 1) / wordBits
+	words := make([]uint64, n*wpb)
+	sets := make([]Set, n)
+	for i := range sets {
+		sets[i] = Set{words: words[i*wpb : (i+1)*wpb : (i+1)*wpb], width: width}
+	}
+	return sets
+}
+
+// SetPackedBytes overwrites the set from packed little-endian bytes: bit i
+// of the set is bit i%8 of packed[i/8] — the layout protocol upload frames
+// carry. Bits in the final byte past the width are ignored, keeping the set
+// canonical even for non-canonical input. It panics if packed holds fewer
+// than ceil(width/8) bytes. Whole words load eight bytes at a time, so the
+// cost is a memcpy-sized pass rather than a per-bit loop.
+func (s *Set) SetPackedBytes(packed []byte) {
+	need := (s.width + 7) / 8
+	if len(packed) < need {
+		panic("bitset: packed bytes shorter than width")
+	}
+	for wi := range s.words {
+		base := wi * 8
+		if base+8 <= need {
+			s.words[wi] = binary.LittleEndian.Uint64(packed[base:])
+			continue
+		}
+		var w uint64
+		for b := 0; base+b < need; b++ {
+			w |= uint64(packed[base+b]) << (8 * b)
+		}
+		s.words[wi] = w
+	}
+	if r := s.width % wordBits; r != 0 {
+		s.words[len(s.words)-1] &= 1<<r - 1
+	}
 }
 
 // FromBools returns a Set whose i-th bit mirrors b[i].

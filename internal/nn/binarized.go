@@ -43,6 +43,7 @@ type binBuffers struct {
 	layerIn  [][]float64
 	layerOut [][]float64
 	rules    []float64
+	row      []float64 // float32→float64 conversion scratch for wire inputs
 }
 
 // Binarize compiles the model's current binarized structure. The returned
@@ -69,7 +70,10 @@ func (m *Model) Binarize() *Binarized {
 		b.layers = append(b.layers, bl)
 	}
 	b.pool = sync.Pool{New: func() any {
-		buf := &binBuffers{rules: make([]float64, b.ruleDim)}
+		buf := &binBuffers{
+			rules: make([]float64, b.ruleDim),
+			row:   make([]float64, b.inDim),
+		}
 		prev := b.inDim
 		for _, l := range b.layers {
 			buf.layerIn = append(buf.layerIn, make([]float64, prev))
@@ -171,6 +175,50 @@ func (b *Binarized) ScoreAndActivationsBatch(xs [][]float64) (scores []float64, 
 		}
 	})
 	return scores, acts
+}
+
+// ScoreBatchFloat32 scores n = len(rows)/InDim() feature rows, packed
+// row-major as float32 wire values, writing the pre-threshold scores into
+// dst[:n]. This is the /v1/predict hot path: rows convert into pooled
+// scratch and evaluation reuses the same pooled buffers as Score, so the
+// steady state allocates nothing (pinned by
+// TestBinarizedScoreBatchZeroAlloc). Inputs must be {0,1} valued, like
+// every other Binarized entry point. It panics if len(rows) is not a
+// multiple of the input width or dst is too short — callers validate the
+// wire payload first.
+func (b *Binarized) ScoreBatchFloat32(rows []float32, dst []float64) {
+	if len(rows)%b.inDim != 0 {
+		panic(fmt.Sprintf("nn: %d feature values do not divide into width-%d rows", len(rows), b.inDim))
+	}
+	n := len(rows) / b.inDim
+	if len(dst) < n {
+		panic(fmt.Sprintf("nn: score buffer %d, want %d", len(dst), n))
+	}
+	if n == 0 {
+		return
+	}
+	// The single-worker case skips parallelOver: passing it a closure heap-
+	// allocates the capture, and this path's whole point is allocating
+	// nothing.
+	if b.workers <= 1 || n == 1 {
+		buf := b.pool.Get().(*binBuffers)
+		b.scoreRangeFloat32(rows, dst, 0, n, buf)
+		b.pool.Put(buf)
+		return
+	}
+	b.parallelOver(n, func(lo, hi int, buf *binBuffers) {
+		b.scoreRangeFloat32(rows, dst, lo, hi, buf)
+	})
+}
+
+func (b *Binarized) scoreRangeFloat32(rows []float32, dst []float64, lo, hi int, buf *binBuffers) {
+	for i := lo; i < hi; i++ {
+		row := rows[i*b.inDim : (i+1)*b.inDim]
+		for j, v := range row {
+			buf.row[j] = float64(v)
+		}
+		dst[i] = b.eval(buf.row, buf)
+	}
 }
 
 func (b *Binarized) parallelOver(n int, fn func(lo, hi int, buf *binBuffers)) {

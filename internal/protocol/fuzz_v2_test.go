@@ -1,0 +1,146 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+)
+
+// seedFrame adds the canonical mutation set for one valid frame: the frame
+// itself, a truncation, and an inflated length field (byte 8 is the second
+// byte of bodyLen, so ^0xFF turns any sane length into a huge one).
+func seedFrame(f *testing.F, valid []byte) {
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	huge := append([]byte(nil), valid...)
+	huge[8] ^= 0xFF
+	f.Add(huge)
+}
+
+// FuzzParseFrame: the envelope parser must never panic and must only accept
+// CRC-clean input whose re-framed bytes parse identically.
+func FuzzParseFrame(f *testing.F) {
+	seedFrame(f, AppendFrame(nil, Version2, TypePredictResponse, []byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}))
+	f.Add([]byte{})
+	f.Add([]byte("CTFL"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, rest, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		if len(fr.Body)+len(rest) > len(data) {
+			t.Fatalf("frame views exceed input: body %d rest %d input %d", len(fr.Body), len(rest), len(data))
+		}
+		again, _, err := ParseFrame(AppendFrame(nil, fr.Version, fr.Type, fr.Body))
+		if err != nil {
+			t.Fatalf("re-framed frame rejected: %v", err)
+		}
+		if again.Version != fr.Version || again.Type != fr.Type || string(again.Body) != string(fr.Body) {
+			t.Fatal("round trip changed frame")
+		}
+	})
+}
+
+// FuzzPredictRequest: any accepted predict request must be structurally
+// consistent and re-encode to an equal frame.
+func FuzzPredictRequest(f *testing.F) {
+	valid, err := AppendPredictRequest(nil, 3, []float32{1, 0, 1, 0, 1, 0})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrame(f, valid)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		req, err := ParsePredictRequest(fr)
+		if err != nil {
+			return
+		}
+		rows := req.AppendRows(nil)
+		if len(rows) != req.Width*req.Count {
+			t.Fatalf("%d values for %d×%d request", len(rows), req.Count, req.Width)
+		}
+		enc, err := AppendPredictRequest(nil, req.Width, rows)
+		if err != nil {
+			t.Fatalf("re-encode rejected: %v", err)
+		}
+		fr2, _, err := ParseFrame(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		req2, err := ParsePredictRequest(fr2)
+		if err != nil || req2.Width != req.Width || req2.Count != req.Count {
+			t.Fatalf("round trip changed request: %v %+v", err, req2)
+		}
+	})
+}
+
+// FuzzTraceResult: any accepted trace result must survive an encode/decode
+// round trip bit-for-bit.
+func FuzzTraceResult(f *testing.F) {
+	seedFrame(f, AppendTraceResult(nil, &TraceResult{
+		Accuracy:     0.75,
+		CoverageGap:  0.25,
+		Micro:        []float64{0.5, 0.25},
+		Macro:        []float64{0.4, 0.35},
+		LossRatio:    []float64{0, 1},
+		UselessRatio: []float64{1, 0},
+		Suspects:     []int{1},
+	}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		tr, err := ParseTraceResult(fr)
+		if err != nil {
+			return
+		}
+		fr2, _, err := ParseFrame(AppendTraceResult(nil, tr))
+		if err != nil {
+			t.Fatalf("re-encode rejected: %v", err)
+		}
+		tr2, err := ParseTraceResult(fr2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		// Bit-level equality: hostile inputs can carry NaN payloads, which
+		// != would reject even on a perfect round trip.
+		if !traceResultsBitEqual(tr, tr2) {
+			t.Fatal("round trip changed trace result")
+		}
+	})
+}
+
+func traceResultsBitEqual(a, b *TraceResult) bool {
+	eq := func(x, y []float64) bool {
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if math.Float64bits(a.Accuracy) != math.Float64bits(b.Accuracy) ||
+		math.Float64bits(a.CoverageGap) != math.Float64bits(b.CoverageGap) ||
+		!eq(a.Micro, b.Micro) || !eq(a.Macro, b.Macro) ||
+		!eq(a.LossRatio, b.LossRatio) || !eq(a.UselessRatio, b.UselessRatio) ||
+		len(a.Suspects) != len(b.Suspects) {
+		return false
+	}
+	for i := range a.Suspects {
+		if a.Suspects[i] != b.Suspects[i] {
+			return false
+		}
+	}
+	return true
+}

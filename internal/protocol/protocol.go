@@ -109,9 +109,9 @@ func (u *Upload) Write(w io.Writer) error {
 }
 
 // Encode returns the upload as one framed message, the same bytes Write
-// would emit. The server's durable store re-encodes accepted uploads into
-// this canonical form for its write-ahead log, so a replayed frame decodes
-// to exactly the state the original request produced.
+// would emit. The server ingests and persists client frames verbatim (see
+// ValidateUploadFrame); Encode is the producer-side counterpart for clients
+// and tests that build frames from decoded records.
 func (u *Upload) Encode() ([]byte, error) {
 	var buf bytes.Buffer
 	if err := u.Write(&buf); err != nil {

@@ -44,7 +44,7 @@ func runSoak(t *testing.T, cl *Client, fx *federationFixture) []*TraceResponse {
 		{"/v1/uploads", "application/octet-stream", fx.frames, false},
 	}
 	for _, st := range steps {
-		if err := cl.do(ctx, http.MethodPost, st.path, st.ct, st.body, nil, st.idempotent); err != nil {
+		if err := cl.do(ctx, http.MethodPost, st.path, st.ct, "", st.body, nil, st.idempotent); err != nil {
 			t.Fatalf("POST %s under soak: %v", st.path, err)
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -134,9 +135,17 @@ type attempt struct {
 	retryAfter time.Duration // server hint; zero when absent
 }
 
+// rawBody captures a response verbatim instead of JSON-decoding it, for
+// binary wire-format exchanges.
+type rawBody struct {
+	contentType string
+	data        []byte
+}
+
 // doOnce performs a single exchange. body is a byte slice (not a Reader) so
-// the retry loop can replay it.
-func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte, out any) attempt {
+// the retry loop can replay it. accept, when non-empty, is sent as the Accept
+// header to negotiate the response encoding.
+func (c *Client) doOnce(ctx context.Context, method, path, contentType, accept string, body []byte, out any) attempt {
 	if err := c.Faults.Err(FaultRequest); err != nil {
 		return attempt{err: fmt.Errorf("client: %s %s: %w", method, path, err), kind: failPreSend}
 	}
@@ -150,6 +159,9 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -187,6 +199,38 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 		return a
 	}
 	if out != nil {
+		if raw, ok := out.(*rawBody); ok {
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return attempt{err: err, kind: failTransport}
+			}
+			raw.contentType = resp.Header.Get("Content-Type")
+			raw.data = data
+			return attempt{}
+		}
+		// A trace poll that negotiated the binary wire format gets the raw
+		// result frame instead of the JSON job envelope — only terminal
+		// successful jobs are served that way, so decode it as one.
+		if env, ok := out.(*TraceJobResponse); ok && strings.HasPrefix(resp.Header.Get("Content-Type"), protocol.ContentTypeFrame) {
+			data, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return attempt{err: err, kind: failTransport}
+			}
+			f, rest, err := protocol.ParseFrame(data)
+			if err == nil && len(rest) != 0 {
+				err = fmt.Errorf("%d trailing bytes after trace-result frame", len(rest))
+			}
+			var tr *protocol.TraceResult
+			if err == nil {
+				tr, err = protocol.ParseTraceResult(f)
+			}
+			if err != nil {
+				return attempt{err: fmt.Errorf("client: %s %s: %w", method, path, err), kind: failPermanent}
+			}
+			env.Status = string(jobs.StatusDone)
+			env.Result = tr
+			return attempt{}
+		}
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return attempt{err: err, kind: failPermanent}
 		}
@@ -197,13 +241,13 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 // do runs the retry loop around doOnce. idempotent marks calls whose effect
 // is safe to repeat, unlocking retries of ambiguous transport failures;
 // pre-send injections and pre-effect 503/429 rejections retry regardless.
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any, idempotent bool) error {
+func (c *Client) do(ctx context.Context, method, path, contentType, accept string, body []byte, out any, idempotent bool) error {
 	p := ClientRetryPolicy{MaxAttempts: 1}.withDefaults()
 	if c.Retry != nil {
 		p = c.Retry.withDefaults()
 	}
 	for n := 1; ; n++ {
-		a := c.doOnce(ctx, method, path, contentType, body, out)
+		a := c.doOnce(ctx, method, path, contentType, accept, body, out)
 		if a.err == nil {
 			return nil
 		}
@@ -233,7 +277,7 @@ func (c *Client) PublishEncoder(ctx context.Context, enc *dataset.Encoder) error
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, "/v1/encoder", "application/json", data, nil, true)
+	return c.do(ctx, http.MethodPost, "/v1/encoder", "application/json", "", data, nil, true)
 }
 
 // PublishModel posts the trained global model. Idempotent like the encoder.
@@ -242,7 +286,7 @@ func (c *Client) PublishModel(ctx context.Context, m *nn.Model) error {
 	if _, err := m.WriteTo(&buf); err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, "/v1/model", "application/octet-stream", buf.Bytes(), nil, true)
+	return c.do(ctx, http.MethodPost, "/v1/model", "application/octet-stream", "", buf.Bytes(), nil, true)
 }
 
 // UploadActivations sends one participant's activation frames. NOT
@@ -254,7 +298,7 @@ func (c *Client) UploadActivations(ctx context.Context, up *protocol.Upload) err
 	if err := up.Write(&buf); err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, "/v1/uploads", "application/octet-stream", buf.Bytes(), nil, false)
+	return c.do(ctx, http.MethodPost, "/v1/uploads", protocol.ContentTypeFrame, "", buf.Bytes(), nil, false)
 }
 
 // Trace scores a reserved test table at the given tracing parameters,
@@ -293,7 +337,7 @@ func (c *Client) traceOnce(ctx context.Context, csv []byte, tau float64, delta i
 	var env TraceJobResponse
 	// Trace submission is content-addressed (test set + params + state
 	// version), so duplicates dedup server-side: idempotent.
-	if err := c.do(ctx, http.MethodPost, path, "text/csv", csv, &env, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, "text/csv", protocol.ContentTypeFrame, csv, &env, true); err != nil {
 		return nil, err
 	}
 	for {
@@ -324,7 +368,7 @@ func (c *Client) TraceAsync(ctx context.Context, test *dataset.Table, tau float6
 	}
 	path := fmt.Sprintf("/v1/trace?tau=%g&delta=%d", tau, delta)
 	var out TraceJobResponse
-	if err := c.do(ctx, http.MethodPost, path, "text/csv", csv.Bytes(), &out, true); err != nil {
+	if err := c.do(ctx, http.MethodPost, path, "text/csv", "", csv.Bytes(), &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -333,16 +377,42 @@ func (c *Client) TraceAsync(ctx context.Context, test *dataset.Table, tau float6
 // TraceJob polls one trace job's status and (when done) result.
 func (c *Client) TraceJob(ctx context.Context, id string) (*TraceJobResponse, error) {
 	var out TraceJobResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/trace/"+id, "", nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/trace/"+id, "", protocol.ContentTypeFrame, nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
+// Predict scores a batch of encoded feature rows against the published
+// model over the binary wire format. rows is row-major with width values
+// per row (the encoder's {0,1} predicate outputs); the returned slice holds
+// one pre-threshold score per row. Scoring is read-only, hence idempotent.
+func (c *Client) Predict(ctx context.Context, width int, rows []float32) ([]float64, error) {
+	frame, err := protocol.AppendPredictRequest(nil, width, rows)
+	if err != nil {
+		return nil, err
+	}
+	var raw rawBody
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", protocol.ContentTypeFrame, protocol.ContentTypeFrame, frame, &raw, true); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(raw.contentType, protocol.ContentTypeFrame) {
+		return nil, fmt.Errorf("client: predict response has Content-Type %q, want %s", raw.contentType, protocol.ContentTypeFrame)
+	}
+	f, rest, err := protocol.ParseFrame(raw.data)
+	if err == nil && len(rest) != 0 {
+		err = fmt.Errorf("%d trailing bytes after predict-response frame", len(rest))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("client: predict response: %w", err)
+	}
+	return protocol.ParsePredictResponse(f, nil)
+}
+
 // Stats fetches the service's observability counters.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", "", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -375,7 +445,7 @@ func (c *Client) TracesRecent(ctx context.Context, n int) (*TracesResponse, erro
 		path = fmt.Sprintf("%s?n=%d", path, n)
 	}
 	var out TracesResponse
-	if err := c.do(ctx, http.MethodGet, path, "", nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, path, "", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -384,7 +454,7 @@ func (c *Client) TracesRecent(ctx context.Context, n int) (*TracesResponse, erro
 // Rules fetches the extracted rule set.
 func (c *Client) Rules(ctx context.Context) ([]RuleJSON, error) {
 	var out []RuleJSON
-	if err := c.do(ctx, http.MethodGet, "/v1/rules", "", nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/rules", "", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -393,7 +463,7 @@ func (c *Client) Rules(ctx context.Context) ([]RuleJSON, error) {
 // Health fetches the liveness/state summary.
 func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	var out map[string]any
-	if err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out, true); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", "", "", nil, &out, true); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -102,7 +102,7 @@ func TestClientTransportErrorRetryGating(t *testing.T) {
 	}
 
 	dials.Store(0)
-	err := cl.do(context.Background(), http.MethodPost, "/v1/uploads", "application/octet-stream", []byte{1}, nil, false)
+	err := cl.do(context.Background(), http.MethodPost, "/v1/uploads", "application/octet-stream", "", []byte{1}, nil, false)
 	if err == nil {
 		t.Fatal("severed upload should error")
 	}
@@ -124,7 +124,7 @@ func TestClientInjectedFaultsRetried(t *testing.T) {
 		FaultRequest: {ErrProb: 1, MaxFaults: 2},
 	})
 	cl := &Client{BaseURL: ts.URL, Retry: fastRetry(5), Faults: in}
-	if err := cl.do(context.Background(), http.MethodPost, "/x", "", []byte{1}, nil, false); err != nil {
+	if err := cl.do(context.Background(), http.MethodPost, "/x", "", "", []byte{1}, nil, false); err != nil {
 		t.Fatalf("injected faults not retried: %v", err)
 	}
 	if hits.Load() != 1 {

@@ -5,6 +5,7 @@
 //	POST /v1/encoder       the federation publishes the predicate encoding
 //	POST /v1/model         the trained global rule-based model (binary form)
 //	POST /v1/uploads       participants submit activation-vector frames
+//	POST /v1/predict       score encoded feature rows (binary v2 or JSON)
 //	POST /v1/trace         submit a reserved test set (CSV) → trace job
 //	GET  /v1/trace/{id}    poll a trace job's status / result
 //	GET  /v1/rules         the extracted rule set (interpretability)
@@ -13,6 +14,13 @@
 //
 // Raw training features never cross this API: participants send only
 // protocol frames of (label, activation bitset) records.
+//
+// The hot paths speak the binary wire protocol (internal/protocol):
+// uploads are validated in place and persisted byte-for-byte (no
+// decode→re-encode round trip), /v1/predict serves the compiled
+// nn.Binarized evaluator over v2 predict frames (JSON negotiable via
+// Content-Type/Accept), and completed trace results stream as binary v2
+// frames to clients that Accept application/x-ctfl.
 //
 // Tracing is asynchronous: POST /v1/trace enqueues a job on a bounded
 // worker pool (internal/jobs) and returns 202 with a job id; `?wait=30s`
@@ -41,8 +49,10 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -166,8 +176,9 @@ type state struct {
 	model    *nn.Model
 	modelRaw []byte // model bytes exactly as accepted
 	rs       *rules.Set
+	bin      *nn.Binarized // compiled inference snapshot behind /v1/predict
 	uploads  []core.TrainingUpload
-	frames   [][]byte // canonical protocol frames, one per accepted upload
+	frames   [][]byte // accepted protocol frames, byte-for-byte as uploaded
 	parts    int      // highest participant id seen + 1
 	// version counts accepted mutations; trace cache keys include it so any
 	// state change invalidates prior results.
@@ -209,6 +220,12 @@ type Server struct {
 	degradedGauge   *telemetry.Gauge
 	degradedEntered *telemetry.Counter
 
+	// Predict serving-path instruments (the route middleware already times
+	// every request; these isolate the inference endpoint specifically).
+	predictSeconds  *telemetry.Histogram
+	predictRows     *telemetry.Counter
+	predictInFlight *telemetry.Gauge
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -242,6 +259,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.storeObs = store.NewObs(s.reg)
 	s.degradedGauge = s.reg.Gauge("ctfl_server_degraded", "1 while WAL writes are rejected (degraded mode)")
 	s.degradedEntered = s.reg.Counter("ctfl_server_degraded_entered_total", "times the server entered degraded mode")
+	s.predictSeconds = s.reg.Histogram("ctfl_predict_request_seconds", "POST /v1/predict latency", nil)
+	s.predictRows = s.reg.Counter("ctfl_predict_rows_total", "feature rows scored by POST /v1/predict")
+	s.predictInFlight = s.reg.Gauge("ctfl_predict_in_flight", "predict requests currently being served")
 	// The server never trains, but registering the family keeps the full
 	// metric catalog visible to scrapes from process start.
 	_ = nn.TrainTelemetry(s.reg)
@@ -278,6 +298,7 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.route("/v1/encoder", s.handleEncoder)
 	s.route("/v1/model", s.handleModel)
 	s.route("/v1/uploads", s.handleUploads)
+	s.route("/v1/predict", s.handlePredict)
 	s.route("/v1/trace", s.handleTrace)
 	s.route("/v1/trace/{id}", s.handleTraceJob)
 	s.route("/v1/rules", s.handleRules)
@@ -341,18 +362,20 @@ func (s *Server) applyEvent(ev store.Event) error {
 		s.applyModel(m, ev.Payload)
 		return nil
 	case store.EventUpload:
-		up, err := protocol.DecodeUpload(ev.Payload)
+		info, err := protocol.ValidateUploadFrame(ev.Payload)
 		if err != nil {
 			return err
+		}
+		if info.FrameLen != len(ev.Payload) {
+			return fmt.Errorf("%d trailing bytes after upload frame", len(ev.Payload)-info.FrameLen)
 		}
 		if s.st.rs == nil {
 			return errors.New("upload event before model")
 		}
-		if up.RuleWidth != s.st.rs.Width() {
-			return fmt.Errorf("upload width %d, rules %d", up.RuleWidth, s.st.rs.Width())
+		if info.RuleWidth != s.st.rs.Width() {
+			return fmt.Errorf("upload width %d, rules %d", info.RuleWidth, s.st.rs.Width())
 		}
-		s.applyUpload(up, ev.Payload)
-		return nil
+		return s.applyUploadFrame(ev.Payload)
 	case store.EventNop:
 		// Degraded-mode health probes carry no state.
 		return nil
@@ -368,7 +391,7 @@ func (s *Server) applyEvent(ev store.Event) error {
 func (s *Server) applyEncoder(enc *dataset.Encoder, raw []byte) {
 	s.st.enc, s.st.encRaw = enc, raw
 	// A new encoding invalidates any model and uploads tied to the old one.
-	s.st.model, s.st.modelRaw, s.st.rs = nil, nil, nil
+	s.st.model, s.st.modelRaw, s.st.rs, s.st.bin = nil, nil, nil, nil
 	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
 	s.st.version++
 }
@@ -376,24 +399,27 @@ func (s *Server) applyEncoder(enc *dataset.Encoder, raw []byte) {
 func (s *Server) applyModel(m *nn.Model, raw []byte) {
 	s.st.model, s.st.modelRaw = m, raw
 	s.st.rs = rules.Extract(m, s.st.enc)
+	s.st.bin = m.Binarize()
 	// Uploads reference the previous model's rule space.
 	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
 	s.st.version++
 }
 
-func (s *Server) applyUpload(up *protocol.Upload, frame []byte) {
-	for _, rec := range up.Records {
-		s.st.uploads = append(s.st.uploads, core.TrainingUpload{
-			Owner:       up.Participant,
-			Label:       rec.Label,
-			Activations: rec.Activations,
-		})
+// applyUploadFrame decodes a validated upload frame into state: records are
+// slab-decoded straight off the frame bytes, and the raw frame itself is
+// retained for snapshots — the server never re-encodes what a client sent.
+func (s *Server) applyUploadFrame(frame []byte) error {
+	uploads, info, err := protocol.AppendTrainingRecords(s.st.uploads, frame)
+	if err != nil {
+		return err
 	}
+	s.st.uploads = uploads
 	s.st.frames = append(s.st.frames, frame)
-	if up.Participant+1 > s.st.parts {
-		s.st.parts = up.Participant + 1
+	if info.Participant+1 > s.st.parts {
+		s.st.parts = info.Participant + 1
 	}
 	s.st.version++
+	return nil
 }
 
 // snapshotEventsLocked re-creates current state as a minimal event list:
@@ -507,6 +533,27 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 }
 
+// requireContentType validates the request's Content-Type against the
+// allowed media types, returning the matched type. An absent header is
+// accepted (returning "") for compatibility with minimal clients; anything
+// present but unlisted is the caller's 415.
+func requireContentType(r *http.Request, allowed ...string) (string, error) {
+	raw := r.Header.Get("Content-Type")
+	if raw == "" {
+		return "", nil
+	}
+	mt, _, err := mime.ParseMediaType(raw)
+	if err != nil {
+		return "", fmt.Errorf("unparseable Content-Type %q", raw)
+	}
+	for _, a := range allowed {
+		if mt == a {
+			return mt, nil
+		}
+	}
+	return "", fmt.Errorf("unsupported Content-Type %q (expected %s)", mt, strings.Join(allowed, " or "))
+}
+
 // maxBytesCode maps body-too-large errors to 413 and everything else to
 // the given default.
 func maxBytesCode(err error, def int) int {
@@ -569,6 +616,10 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if s.injectFault(w) {
 		return
 	}
+	if _, err := requireContentType(r, "application/octet-stream"); err != nil {
+		httpError(w, http.StatusUnsupportedMediaType, err)
+		return
+	}
 	raw, err := s.readBody(w, r)
 	if err != nil {
 		httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
@@ -607,8 +658,12 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 	if s.injectFault(w) {
 		return
 	}
-	// Snapshot the rule width, then decode and validate the whole batch
-	// without holding any lock — frame decoding is the expensive part.
+	if _, err := requireContentType(r, "application/octet-stream", protocol.ContentTypeFrame); err != nil {
+		httpError(w, http.StatusUnsupportedMediaType, err)
+		return
+	}
+	// Snapshot the rule width, then validate the whole batch without
+	// holding any lock.
 	s.mu.RLock()
 	rs := s.st.rs
 	version := s.st.version
@@ -618,34 +673,29 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	var ups []*protocol.Upload
+	// Zero-copy ingest: read the batch once, CRC + structurally validate
+	// each frame in place (no bitsets, no Upload structs), and persist the
+	// client's own bytes. The frame slices below alias this body buffer —
+	// one allocation backs the whole batch's retained frames.
+	body, err := s.readBody(w, r)
+	if err != nil {
+		httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
+		return
+	}
 	var frames [][]byte
-	for {
-		up, err := protocol.ReadUpload(body)
-		if err != nil {
-			// A clean EOF at a frame boundary ends the batch; anything else
-			// (including a truncated frame) is a client error.
-			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
-				break
-			}
-			httpError(w, maxBytesCode(err, http.StatusBadRequest), err)
-			return
-		}
-		if up.RuleWidth != rs.Width() {
-			httpError(w, http.StatusBadRequest,
-				fmt.Errorf("upload rule width %d, model has %d", up.RuleWidth, rs.Width()))
-			return
-		}
-		// Re-encode into the canonical frame the WAL stores; replaying it
-		// reproduces this decode exactly.
-		frame, err := up.Encode()
+	for rest := body; len(rest) > 0; {
+		info, err := protocol.ValidateUploadFrame(rest)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
 		}
-		ups = append(ups, up)
-		frames = append(frames, frame)
+		if info.RuleWidth != rs.Width() {
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("upload rule width %d, model has %d", info.RuleWidth, rs.Width()))
+			return
+		}
+		frames = append(frames, rest[:info.FrameLen:info.FrameLen])
+		rest = rest[info.FrameLen:]
 	}
 
 	s.mu.Lock()
@@ -658,7 +708,9 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 	}
 	// Persist the whole batch atomically, then apply: a failed persist leaves
 	// no partial prefix in the WAL or in memory, so a client retry of the
-	// same batch cannot double-apply frames.
+	// same batch cannot double-apply frames. The WAL payloads are the exact
+	// bytes the client sent — replay revalidates and decodes them the same
+	// way this request just did.
 	evs := make([]store.Event, len(frames))
 	for i, f := range frames {
 		evs[i] = store.Event{Type: store.EventUpload, Payload: f}
@@ -667,23 +719,23 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w, err)
 		return
 	}
-	for i, up := range ups {
-		s.applyUpload(up, frames[i])
+	for _, f := range frames {
+		// Validation above makes a decode failure impossible; treat one as
+		// the internal error it would be.
+		if err := s.applyUploadFrame(f); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	s.maybeCompactLocked()
-	writeJSON(w, http.StatusOK, map[string]int{"frames": len(ups), "records": len(s.st.uploads)})
+	writeJSON(w, http.StatusOK, map[string]int{"frames": len(frames), "records": len(s.st.uploads)})
 }
 
-// TraceResponse is the JSON result of a completed trace job.
-type TraceResponse struct {
-	Accuracy     float64   `json:"accuracy"`
-	CoverageGap  float64   `json:"coverage_gap"`
-	Micro        []float64 `json:"micro"`
-	Macro        []float64 `json:"macro"`
-	LossRatio    []float64 `json:"loss_ratio"`
-	UselessRatio []float64 `json:"useless_ratio"`
-	Suspects     []int     `json:"suspects"`
-}
+// TraceResponse is the result of a completed trace job. It is the
+// protocol's canonical TraceResult: GET /v1/trace/{id} serves it as JSON by
+// default, or as a binary v2 trace-result frame when the request Accepts
+// application/x-ctfl.
+type TraceResponse = protocol.TraceResult
 
 // TraceJobResponse is the envelope POST /v1/trace and GET /v1/trace/{id}
 // return: the job's lifecycle status plus, once done, the trace result.
@@ -814,7 +866,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), wait)
 		defer cancel()
 		if v, err := s.engine.Wait(ctx, job); err == nil {
-			s.writeJob(w, v)
+			s.writeJob(w, r, v)
 			return
 		}
 		// Timed out waiting: fall through to the async 202 answer.
@@ -823,12 +875,28 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, jobResponse(job.Snapshot()))
 }
 
+// acceptsFrame reports whether the request negotiated the binary v2
+// encoding for its response.
+func acceptsFrame(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), protocol.ContentTypeFrame)
+}
+
 // writeJob renders a job view with a status code matching its lifecycle:
-// 200 done, 500 failed, 202 still in flight.
-func (s *Server) writeJob(w http.ResponseWriter, v jobs.View) {
+// 200 done, 500 failed, 202 still in flight. A done job whose request
+// Accepts application/x-ctfl is answered as a binary trace-result frame
+// instead of the JSON envelope; every other lifecycle state stays JSON, so
+// pollers always see the envelope until there is a result to stream.
+func (s *Server) writeJob(w http.ResponseWriter, r *http.Request, v jobs.View) {
 	code := http.StatusAccepted
 	switch v.Status {
 	case jobs.StatusDone:
+		if tr, ok := v.Result.(*TraceResponse); ok && acceptsFrame(r) {
+			frame := protocol.AppendTraceResult(nil, tr)
+			w.Header().Set("Content-Type", protocol.ContentTypeFrame)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(frame)
+			return
+		}
 		code = http.StatusOK
 	case jobs.StatusFailed:
 		code = http.StatusInternalServerError
@@ -849,7 +917,7 @@ func (s *Server) handleTraceJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("unknown trace job %q", r.PathValue("id")))
 		return
 	}
-	s.writeJob(w, job.Snapshot())
+	s.writeJob(w, r, job.Snapshot())
 }
 
 // traceKey derives the result-cache key: test-set content, tracing

@@ -27,7 +27,7 @@ type federationFixture struct {
 	parts       int
 }
 
-func buildFederation(t *testing.T) *federationFixture {
+func buildFederation(t testing.TB) *federationFixture {
 	t.Helper()
 	tab := dataset.TicTacToe()
 	r := stats.NewRNG(3)

@@ -22,8 +22,8 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (hot paths: nn, core, bitset)"
-go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/...
+echo "== go test -race (hot paths: nn, core, bitset, protocol)"
+go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/... ./internal/protocol/...
 
 echo "== go test -race (service layer: store, jobs, server, telemetry)"
 go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/...
@@ -40,11 +40,22 @@ go test -run=TestTrainInnerLoopZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'P
 go test -run=TestDisabledInjectorZeroAlloc -count=1 -v ./internal/faults/ | grep -E 'PASS|FAIL|allocates'
 go test -run=TestUtilityCacheHitZeroAlloc -count=1 -v ./internal/valuation/ | grep -E 'PASS|FAIL|allocates'
 
+echo "== zero-alloc pins (wire-protocol ingest + predict hot paths)"
+go test -run=TestValidateUploadFrameZeroAlloc -count=1 -v ./internal/protocol/ | grep -E 'PASS|FAIL|allocates'
+go test -run=TestBinarizedScoreBatchZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'PASS|FAIL|allocates'
+
+echo "== fuzz smoke (wire-protocol decoders, 3s each)"
+for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult; do
+    go test -run=NONE -fuzz="^${tgt}\$" -fuzztime=3s ./internal/protocol/ | tail -1
+done
+
 echo "== bench smoke (1 iteration per hot-path benchmark)"
 go test -run=NONE -bench='BenchmarkTraceIndexed|BenchmarkTrainEpochs' -benchtime=1x \
     ./internal/core/ ./internal/nn/
 go test -run=NONE -bench='BenchmarkOracleBatch|BenchmarkSampledShapleyParallel' -benchtime=1x \
     ./internal/valuation/
+go test -run=NONE -bench='BenchmarkTraceResult|BenchmarkUploadIngest' -benchtime=1x \
+    ./internal/protocol/
 
 echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
 tmpbin="$(mktemp -d)"
