@@ -53,16 +53,18 @@ type benchReport struct {
 
 // defaultBenchRegex covers the hot paths the performance overhauls target:
 // tracing (construction + queries), NN training and batch inference, the
-// end-to-end Table II pipeline, and the parallel coalition-valuation engine.
+// end-to-end Table II pipeline, the parallel coalition-valuation engine,
+// and the streaming round-valuation engine.
 const defaultBenchRegex = "BenchmarkTrace|BenchmarkNewTracer|BenchmarkTrainEpochs|" +
 	"BenchmarkPredictBatch|BenchmarkScoreAndActivations|BenchmarkTable2|BenchmarkTracingThroughput|" +
 	"BenchmarkOracleBatch|BenchmarkSampledShapleyParallel|" +
-	"BenchmarkTraceResult|BenchmarkUploadIngest|BenchmarkServerPredict|BenchmarkServerUploadIngest"
+	"BenchmarkTraceResult|BenchmarkUploadIngest|BenchmarkServerPredict|BenchmarkServerUploadIngest|" +
+	"BenchmarkRoundIngest|BenchmarkIncrementalScores|BenchmarkBatchRevaluation"
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	benchRe := fs.String("bench", defaultBenchRegex, "benchmark regex passed to go test -bench")
-	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,./internal/valuation/,./internal/protocol/,./internal/server/,.", "comma-separated packages to benchmark")
+	pkgs := fs.String("pkg", "./internal/core/,./internal/nn/,./internal/valuation/,./internal/rounds/,./internal/protocol/,./internal/server/,.", "comma-separated packages to benchmark")
 	before := fs.String("before", "", "comma-separated files or globs of saved `go test -bench` output to compare against")
 	out := fs.String("o", "", "write the JSON report here (default: stdout)")
 	benchtime := fs.String("benchtime", "", "go test -benchtime value (e.g. 2s, 100x)")

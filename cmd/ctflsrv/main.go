@@ -7,7 +7,8 @@
 //	        [-compact-bytes 8388608] [-no-sync] [-pprof] [-log-json]
 //	        [-job-retries 3] [-degraded-threshold 3] [-probe-interval 1s]
 //	        [-retry-after 1s] [-read-timeout 5m] [-write-timeout 10m]
-//	        [-idle-timeout 2m]
+//	        [-idle-timeout 2m] [-round-epsilon 0.001] [-round-inner-epsilon 0]
+//	        [-round-perms 0] [-round-seed 1] [-round-workers 0]
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
@@ -29,6 +30,10 @@
 //	POST /v1/model         publish the trained rule-based model (binary)
 //	POST /v1/uploads       register participant activation frames
 //	POST /v1/predict       score feature rows (binary CTFL frame or JSON)
+//	POST /v1/rounds        register the streaming eval set (CSV) or push one
+//	                       round-update frame (binary CTFL frame)
+//	GET  /v1/scores        live per-participant contribution scores
+//	                       (?round=N&wait=D long-polls)
 //	POST /v1/trace         submit a test set (CSV) → async job (?wait= to block)
 //	GET  /v1/trace/{id}    poll a trace job
 //	GET  /v1/rules         inspect the extracted rules
@@ -76,6 +81,11 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "max time to read a request incl. body (0 = unlimited)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Minute, "max time to write a response; must exceed the longest ?wait= long-poll (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection (0 = unlimited)")
+	roundEpsilon := flag.Float64("round-epsilon", 0, "between-round truncation threshold for streaming valuation (0 = default 1e-3, negative disables)")
+	roundInnerEpsilon := flag.Float64("round-inner-epsilon", 0, "within-round truncation threshold (0 = same as -round-epsilon, negative disables)")
+	roundPerms := flag.Int("round-perms", 0, "permutation samples per streamed round (0 = engine default)")
+	roundSeed := flag.Int64("round-seed", 1, "seed for the streaming valuation sampler")
+	roundWorkers := flag.Int("round-workers", 0, "coalition-evaluation workers per streamed round (0 = engine default)")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -99,6 +109,11 @@ func main() {
 		DegradedThreshold: *degradedThreshold,
 		ProbeInterval:     *probeInterval,
 		RetryAfter:        *retryAfter,
+		RoundEpsilon:      *roundEpsilon,
+		RoundInnerEpsilon: *roundInnerEpsilon,
+		RoundPermutations: *roundPerms,
+		RoundSeed:         *roundSeed,
+		RoundWorkers:      *roundWorkers,
 	})
 	if err != nil {
 		logger.Error("ctflsrv: startup failed", "err", err)

@@ -74,6 +74,17 @@ type RoundStats struct {
 	Participated []int // aggregated participant indices
 }
 
+// ClientUpdate is one client's aggregated contribution to a round: its
+// participant id, FedAvg weight (local data size), and the flat parameters
+// of its locally trained model. The streaming valuation engine
+// (internal/rounds) consumes these — aggregating every update of a round
+// with these weights reproduces that round's global model bit-identically.
+type ClientUpdate struct {
+	Participant int
+	Weight      float64
+	Params      []float64
+}
+
 // Result is the simulation outcome.
 type Result struct {
 	Model  *nn.Model
@@ -81,6 +92,10 @@ type Result struct {
 	Events []Event
 	// Participation[i] counts rounds participant i's update was aggregated.
 	Participation []int
+	// Updates holds each round's aggregated client updates in ascending
+	// participant order (nil for rounds no client reached) — the round
+	// stream a live federation would push to POST /v1/rounds.
+	Updates [][]ClientUpdate
 }
 
 // Run simulates cfg.Rounds of federated training over the participants,
@@ -157,16 +172,18 @@ func Run(enc *dataset.Encoder, parts []*fl.Participant, test *dataset.Table, cfg
 			})
 			stats.TestAcc = trainer.Evaluate(global, test)
 			res.Rounds = append(res.Rounds, stats)
+			res.Updates = append(res.Updates, nil)
 			continue
 		}
 
 		// One FedAvg round over the available clients, warm-started from the
 		// current global parameters.
-		roundModel, err := trainOneRound(trainer, global, available)
+		roundModel, updates, err := trainOneRound(trainer, global, available)
 		if err != nil {
 			return nil, err
 		}
 		global = roundModel
+		res.Updates = append(res.Updates, updates)
 		stats.Selected = len(available)
 		for _, p := range available {
 			res.Participation[indexOf(parts, p)]++
@@ -194,29 +211,34 @@ func Run(enc *dataset.Encoder, parts []*fl.Participant, test *dataset.Table, cfg
 // parameters. fl.Trainer creates a fresh model per Train call, so the warm
 // start is injected by cloning parameters after construction via a
 // one-round training on each client from the given starting point.
-func trainOneRound(trainer *fl.Trainer, global *nn.Model, parts []*fl.Participant) (*nn.Model, error) {
+func trainOneRound(trainer *fl.Trainer, global *nn.Model, parts []*fl.Participant) (*nn.Model, []ClientUpdate, error) {
 	// Emulate fl.Trainer's round with an explicit warm start: each client
 	// clones the global model, trains locally, and the server averages
-	// weighted by data size.
+	// weighted by data size. The per-client (weight, params) pairs are
+	// captured as the round's ClientUpdates so downstream consumers (the
+	// streaming valuation engine) can re-aggregate any sub-coalition.
 	total := 0
 	for _, p := range parts {
 		total += p.Size()
 	}
 	agg := make([]float64, len(global.Params()))
+	updates := make([]ClientUpdate, 0, len(parts))
 	for _, p := range parts {
 		local := global.Clone()
 		x, y := trainer.Encoder().EncodeTable(p.Data)
 		local.TrainEpochs(x, y, trainer.Config().LocalEpochs)
 		w := float64(p.Size()) / float64(total)
-		for i, v := range local.Params() {
+		params := local.Params()
+		for i, v := range params {
 			agg[i] += w * v
 		}
+		updates = append(updates, ClientUpdate{Participant: p.ID, Weight: float64(p.Size()), Params: params})
 	}
 	next := global.Clone()
 	if err := next.SetParams(agg); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return next, nil
+	return next, updates, nil
 }
 
 func indexOf(parts []*fl.Participant, p *fl.Participant) int {

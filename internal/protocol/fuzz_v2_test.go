@@ -118,6 +118,104 @@ func FuzzTraceResult(f *testing.F) {
 	})
 }
 
+// FuzzRoundUpdate: the zero-alloc validator and the zero-copy view must
+// agree on every input, and any accepted round update must re-encode to a
+// frame that parses back bit-identically (NaN params included).
+func FuzzRoundUpdate(f *testing.F) {
+	valid, err := AppendRoundUpdate(nil, 2, []RoundParticipant{
+		{ID: 0, Weight: 3, Params: []float64{0.5, math.NaN()}},
+		{ID: 4, Weight: 1, Params: []float64{-1, math.Inf(1)}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrame(f, valid)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, verr := ValidateRoundUpdateFrame(data)
+		fr, _, perr := ParseFrame(data)
+		var u RoundUpdate
+		uerr := perr
+		if perr == nil {
+			u, uerr = ParseRoundUpdate(fr)
+		}
+		if (verr == nil) != (uerr == nil) {
+			t.Fatalf("validator err %v, view err %v on %d-byte input", verr, uerr, len(data))
+		}
+		if verr != nil {
+			return
+		}
+		if info.Round != u.Round || info.Count != u.Count || info.ParamCount != u.ParamCount {
+			t.Fatalf("validator %+v vs view %+v", info, u)
+		}
+		parts := make([]RoundParticipant, u.Count)
+		for i := range parts {
+			parts[i] = u.Participant(i)
+		}
+		enc, err := AppendRoundUpdate(nil, u.Round, parts)
+		if err != nil {
+			t.Fatalf("re-encode of accepted update rejected: %v", err)
+		}
+		fr2, _, err := ParseFrame(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		u2, err := ParseRoundUpdate(fr2)
+		if err != nil || u2.Round != u.Round || u2.Count != u.Count || u2.ParamCount != u.ParamCount {
+			t.Fatalf("round trip changed update: %v %+v", err, u2)
+		}
+		for i := 0; i < u.Count; i++ {
+			if u2.ID(i) != u.ID(i) || math.Float64bits(u2.Weight(i)) != math.Float64bits(u.Weight(i)) {
+				t.Fatalf("participant %d changed", i)
+			}
+			for j := 0; j < u.ParamCount; j++ {
+				if math.Float64bits(u2.Param(i, j)) != math.Float64bits(u.Param(i, j)) {
+					t.Fatalf("param [%d][%d] bits changed", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzScoresSnapshot: any accepted snapshot must survive an encode/decode
+// round trip bit-for-bit (hostile inputs can carry NaN scores).
+func FuzzScoresSnapshot(f *testing.F) {
+	seedFrame(f, AppendScoresSnapshot(nil, &ScoresSnapshot{
+		Rounds:  5,
+		Skipped: 2,
+		Scores:  []float64{0.25, math.NaN(), -1},
+	}))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		s, err := ParseScoresSnapshot(fr)
+		if err != nil {
+			return
+		}
+		fr2, _, err := ParseFrame(AppendScoresSnapshot(nil, s))
+		if err != nil {
+			t.Fatalf("re-encode rejected: %v", err)
+		}
+		s2, err := ParseScoresSnapshot(fr2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if s2.Rounds != s.Rounds || s2.Skipped != s.Skipped || len(s2.Scores) != len(s.Scores) {
+			t.Fatalf("round trip changed snapshot: %+v vs %+v", s, s2)
+		}
+		for i := range s.Scores {
+			if math.Float64bits(s2.Scores[i]) != math.Float64bits(s.Scores[i]) {
+				t.Fatalf("score %d bits changed", i)
+			}
+		}
+	})
+}
+
 func traceResultsBitEqual(a, b *TraceResult) bool {
 	eq := func(x, y []float64) bool {
 		if len(x) != len(y) {

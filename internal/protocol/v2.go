@@ -16,6 +16,9 @@ package protocol
 //	                          4 × (count uint32 + count float64) vectors
 //	                          (micro, macro, lossRatio, uselessRatio),
 //	                          count uint32 + count uint32 suspects
+//	type 5  round update      per-round participant model updates for the
+//	                          streaming valuation engine (see v2rounds.go)
+//	type 6  scores snapshot   streaming contribution scores (see v2rounds.go)
 //
 // Negotiation is carried by HTTP, not by the frames: a request's
 // Content-Type selects the decoder (application/x-ctfl = binary frame,

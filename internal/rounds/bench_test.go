@@ -1,0 +1,153 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+)
+
+// benchWorld is a cheap synthetic setup: a small model, a 64-row eval set,
+// and a deterministic generator of per-round participant updates. Benches
+// measure engine arithmetic, not federated training.
+type benchWorld struct {
+	cfg    Config
+	nParts int
+	rng    func(round int) []protocol.RoundParticipant
+}
+
+func newBenchWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	const width, nParts = 12, 6
+	model, err := nn.New(width, nn.Config{Hidden: []int{8}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(41)
+	evalX := make([][]float64, 64)
+	evalY := make([]int, len(evalX))
+	for i := range evalX {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		evalX[i] = row
+		evalY[i] = r.Intn(2)
+	}
+	paramCount := len(model.Params())
+	base := make([]float64, paramCount)
+	for j := range base {
+		base[j] = r.NormFloat64()
+	}
+	gen := func(round int) []protocol.RoundParticipant {
+		pr := stats.NewRNG(int64(1000 + round))
+		parts := make([]protocol.RoundParticipant, nParts)
+		for i := range parts {
+			params := make([]float64, paramCount)
+			for j := range params {
+				params[j] = base[j] + 0.1*pr.NormFloat64()
+			}
+			parts[i] = protocol.RoundParticipant{ID: i, Weight: float64(10 + i), Params: params}
+		}
+		return parts
+	}
+	return &benchWorld{
+		cfg:    Config{Model: model, EvalX: evalX, EvalY: evalY, Seed: 5},
+		nParts: nParts,
+		rng:    gen,
+	}
+}
+
+func benchUpdate(b *testing.B, round int, parts []protocol.RoundParticipant) protocol.RoundUpdate {
+	b.Helper()
+	frame, err := protocol.AppendRoundUpdate(nil, round, parts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, _, err := protocol.ParseFrame(frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := protocol.ParseRoundUpdate(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+func benchIngest(b *testing.B, e *Engine, u protocol.RoundUpdate) {
+	b.Helper()
+	out, err := e.Compute(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Apply(out); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRoundIngest measures the steady-state cost of a converged
+// stream: every round after the first moves the global utility by less
+// than epsilon, so ingest is one grand-coalition reconstruction plus the
+// between-round truncation check — the GTG fast path.
+func BenchmarkRoundIngest(b *testing.B) {
+	w := newBenchWorld(b)
+	e, err := New(w.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := w.rng(0)
+	benchIngest(b, e, benchUpdate(b, 0, parts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchIngest(b, e, benchUpdate(b, i+1, parts))
+	}
+	b.StopTimer()
+	if snap := e.Snapshot(); snap.Skipped != b.N {
+		b.Fatalf("expected every benched round skipped, got %d of %d", snap.Skipped, b.N)
+	}
+}
+
+// BenchmarkIncrementalScores measures a full incremental score update: a
+// round whose utility moved, so the engine runs truncated permutation
+// sampling over reconstructed coalition models.
+func BenchmarkIncrementalScores(b *testing.B) {
+	w := newBenchWorld(b)
+	w.cfg.Epsilon = -1 // never skip: every round pays the sampling path
+	e, err := New(w.cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		u := benchUpdate(b, i, w.rng(i))
+		b.StartTimer()
+		benchIngest(b, e, u)
+	}
+}
+
+// BenchmarkBatchRevaluation measures what a new round costs without the
+// streaming engine: re-scoring the entire stream from scratch. With an
+// 8-round history this is the bill the incremental path amortizes away —
+// compare against BenchmarkIncrementalScores in BENCH_7.json.
+func BenchmarkBatchRevaluation(b *testing.B) {
+	const history = 8
+	w := newBenchWorld(b)
+	w.cfg.Epsilon = -1
+	updates := make([]protocol.RoundUpdate, history)
+	for i := range updates {
+		updates[i] = benchUpdate(b, i, w.rng(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := New(w.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, u := range updates {
+			benchIngest(b, e, u)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package rounds
+
+import (
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// protocolMaxRoundParticipants re-exports the wire bound for the outcome
+// decoder's defensive checks.
+const protocolMaxRoundParticipants = protocol.MaxRoundParticipants
+
+// Obs collects the round-stream engine's instrumentation. A nil Obs on
+// Config disables all of it; the zero value is inert (every instrument is a
+// nil-safe no-op).
+type Obs struct {
+	// Ingested counts applied round outcomes (scored + skipped).
+	Ingested *telemetry.Counter
+	// Skipped counts rounds cut by between-round truncation (utility delta
+	// below epsilon: marginals taken as zero at the cost of one
+	// reconstruction).
+	Skipped *telemetry.Counter
+	// InnerTruncations counts permutation walks cut short by within-round
+	// truncation.
+	InnerTruncations *telemetry.Counter
+	// Evals counts coalition model reconstructions evaluated.
+	Evals *telemetry.Counter
+	// UpdateSeconds times one round's score update (Compute), skipped
+	// rounds included.
+	UpdateSeconds *telemetry.Histogram
+	// Staleness gauges seconds since the last applied outcome. The engine
+	// never scans a clock on its own; the serving layer sets this from
+	// Engine.Staleness at scrape/query time.
+	Staleness *telemetry.Gauge
+}
+
+// inertObs is the shared no-op instrument set used when Config.Obs is nil.
+var inertObs = &Obs{}
+
+// NewObs registers the round-stream metric family on r and returns the
+// handle to set as Config.Obs.
+func NewObs(r *telemetry.Registry) *Obs {
+	return &Obs{
+		Ingested: r.Counter("ctfl_rounds_ingested_total", "round outcomes applied to the streaming score state"),
+		Skipped:  r.Counter("ctfl_rounds_skipped_total", "rounds skipped by between-round truncation (GTG epsilon)"),
+		InnerTruncations: r.Counter("ctfl_rounds_inner_truncations_total",
+			"permutation walks cut short by within-round truncation"),
+		Evals: r.Counter("ctfl_rounds_evals_total", "coalition model reconstructions evaluated"),
+		UpdateSeconds: r.Histogram("ctfl_rounds_update_seconds",
+			"one round's incremental score update (skipped rounds included)", nil),
+		Staleness: r.Gauge("ctfl_rounds_score_staleness_seconds",
+			"seconds since the streaming scores last advanced (set at scrape time)"),
+	}
+}

@@ -1,0 +1,113 @@
+package rounds
+
+// Outcome is one ingested round's durable effect on the score state. Its
+// binary payload is what the server write-ahead-logs (store.EventRound)
+// before applying the outcome, so a restarted server replays score
+// arithmetic — never coalition evaluations.
+//
+// Payload layout (little-endian):
+//
+//	round  uint32
+//	flags  uint8   (bit 0: round skipped by between-round truncation)
+//	vFull  uint64  (Float64bits of the grand-coalition utility)
+//	count  uint32  (0 when skipped)
+//	per entry: id uint32, delta uint64 (Float64bits of the score delta)
+//
+// Float64 values travel as raw bits so replayed scores are bit-identical,
+// NaN payloads included.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Outcome is the result of scoring one round-update. Zero or more of
+// IDs/Deltas depending on Skipped; basis is the engine high-water the
+// outcome was computed against (Apply's optimistic-concurrency check).
+type Outcome struct {
+	Round int
+	// VFull is the grand-coalition (all present participants) utility —
+	// the next round's between-round truncation reference.
+	VFull float64
+	// Skipped marks a round cut by between-round truncation: no deltas.
+	Skipped bool
+	// IDs/Deltas are the per-participant score increments, in frame
+	// (ascending id) order. Empty when Skipped.
+	IDs    []int
+	Deltas []float64
+	// Evals counts coalition reconstructions this round cost; Truncated
+	// counts permutation walks cut short. Telemetry only — not persisted.
+	Evals     int
+	Truncated int
+
+	basis int
+}
+
+const outcomeHeaderLen = 4 + 1 + 8 + 4
+
+// outcomeFlagSkipped marks a between-round-truncated outcome.
+const outcomeFlagSkipped = 1
+
+// Payload encodes the outcome as one durable record.
+func (o *Outcome) Payload() []byte {
+	buf := make([]byte, 0, outcomeHeaderLen+len(o.IDs)*12)
+	var b8 [8]byte
+	binary.LittleEndian.PutUint32(b8[:4], uint32(o.Round))
+	buf = append(buf, b8[:4]...)
+	flags := byte(0)
+	if o.Skipped {
+		flags |= outcomeFlagSkipped
+	}
+	buf = append(buf, flags)
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(o.VFull))
+	buf = append(buf, b8[:]...)
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(o.IDs)))
+	buf = append(buf, b8[:4]...)
+	for i, id := range o.IDs {
+		binary.LittleEndian.PutUint32(b8[:4], uint32(id))
+		buf = append(buf, b8[:4]...)
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(o.Deltas[i]))
+		buf = append(buf, b8[:]...)
+	}
+	return buf
+}
+
+// DecodeOutcome parses one durable outcome record.
+func DecodeOutcome(p []byte) (*Outcome, error) {
+	if len(p) < outcomeHeaderLen {
+		return nil, fmt.Errorf("rounds: outcome record too short (%d bytes)", len(p))
+	}
+	o := &Outcome{
+		Round:   int(binary.LittleEndian.Uint32(p[0:4])),
+		Skipped: p[4]&outcomeFlagSkipped != 0,
+		VFull:   math.Float64frombits(binary.LittleEndian.Uint64(p[5:13])),
+	}
+	count := int64(binary.LittleEndian.Uint32(p[13:17]))
+	if count > protocolMaxRoundParticipants {
+		return nil, fmt.Errorf("rounds: outcome entry count %d exceeds limit", count)
+	}
+	if o.Skipped && count != 0 {
+		return nil, fmt.Errorf("rounds: skipped outcome carries %d deltas", count)
+	}
+	if want := int64(outcomeHeaderLen) + 12*count; int64(len(p)) != want {
+		return nil, fmt.Errorf("rounds: outcome record %d bytes, want %d for %d entries", len(p), want, count)
+	}
+	prev := -1
+	at := outcomeHeaderLen
+	for i := int64(0); i < count; i++ {
+		id := int(binary.LittleEndian.Uint32(p[at:]))
+		if id <= prev || id >= protocolMaxRoundParticipants {
+			return nil, fmt.Errorf("rounds: outcome id %d not strictly increasing in [0,%d)",
+				id, protocolMaxRoundParticipants)
+		}
+		prev = id
+		o.IDs = append(o.IDs, id)
+		o.Deltas = append(o.Deltas, math.Float64frombits(binary.LittleEndian.Uint64(p[at+4:])))
+		at += 12
+	}
+	// Replay applies records in order; the decoded basis is the record's own
+	// round (ApplyPayload enforces monotonicity itself).
+	o.basis = o.Round
+	return o, nil
+}

@@ -301,6 +301,60 @@ func (c *Client) UploadActivations(ctx context.Context, up *protocol.Upload) err
 	return c.do(ctx, http.MethodPost, "/v1/uploads", protocol.ContentTypeFrame, "", buf.Bytes(), nil, false)
 }
 
+// PublishRoundEval registers the held-out evaluation set that anchors the
+// streaming-valuation engine, resetting any existing score stream.
+// Idempotent: re-registering the same set converges to the same state.
+func (c *Client) PublishRoundEval(ctx context.Context, test *dataset.Table) error {
+	var csv bytes.Buffer
+	if err := dataset.WriteCSV(&csv, test); err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/rounds", "text/csv", "", csv.Bytes(), nil, true)
+}
+
+// PushRound streams one training round's client updates to the valuation
+// engine. NOT idempotent — replaying an ambiguous transport failure could
+// double-ingest the round (the server would reject the duplicate round
+// number, but the first attempt's effect is unknown) — so only pre-effect
+// 503/429 rejections retry.
+func (c *Client) PushRound(ctx context.Context, round int, parts []protocol.RoundParticipant) (*RoundResponse, error) {
+	frame, err := protocol.AppendRoundUpdate(nil, round, parts)
+	if err != nil {
+		return nil, err
+	}
+	var out RoundResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/rounds", protocol.ContentTypeFrame, "", frame, &out, false); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Scores fetches the live contribution scores over the binary wire format.
+// minRound > 0 with wait > 0 long-polls until the stream has ingested that
+// many rounds (or the wait elapses — the snapshot returned is whatever the
+// stream holds then). Read-only, hence idempotent.
+func (c *Client) Scores(ctx context.Context, minRound int, wait time.Duration) (*protocol.ScoresSnapshot, error) {
+	path := "/v1/scores"
+	if minRound > 0 {
+		path = fmt.Sprintf("%s?round=%d&wait=%s", path, minRound, wait)
+	}
+	var raw rawBody
+	if err := c.do(ctx, http.MethodGet, path, "", protocol.ContentTypeFrame, nil, &raw, true); err != nil {
+		return nil, err
+	}
+	if !strings.HasPrefix(raw.contentType, protocol.ContentTypeFrame) {
+		return nil, fmt.Errorf("client: scores response has Content-Type %q, want %s", raw.contentType, protocol.ContentTypeFrame)
+	}
+	f, rest, err := protocol.ParseFrame(raw.data)
+	if err == nil && len(rest) != 0 {
+		err = fmt.Errorf("%d trailing bytes after scores-snapshot frame", len(rest))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("client: scores response: %w", err)
+	}
+	return protocol.ParseScoresSnapshot(f)
+}
+
 // Trace scores a reserved test table at the given tracing parameters,
 // waiting synchronously for the asynchronous trace job to finish: submit,
 // then poll at PollInterval. A job that *failed* server-side is resubmitted

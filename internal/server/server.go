@@ -6,6 +6,9 @@
 //	POST /v1/model         the trained global rule-based model (binary form)
 //	POST /v1/uploads       participants submit activation-vector frames
 //	POST /v1/predict       score encoded feature rows (binary v2 or JSON)
+//	POST /v1/rounds        register a streaming eval set (CSV) or push one
+//	                       round-update frame (binary v2)
+//	GET  /v1/scores        live streaming contribution scores (?wait= poll)
 //	POST /v1/trace         submit a reserved test set (CSV) → trace job
 //	GET  /v1/trace/{id}    poll a trace job's status / result
 //	GET  /v1/rules         the extracted rule set (interpretability)
@@ -62,6 +65,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/protocol"
+	"repro/internal/rounds"
 	"repro/internal/rules"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -125,6 +129,20 @@ type Options struct {
 	// Faults injects failures across the stack (store sites, jobs.run,
 	// server.handler) for resilience testing. Nil disables injection.
 	Faults *faults.Injector
+
+	// RoundEpsilon is the streaming engine's between-round truncation
+	// threshold (0 = the engine default 1e-3, negative disables skipping).
+	RoundEpsilon float64
+	// RoundInnerEpsilon is the within-round truncation threshold
+	// (0 = same as RoundEpsilon, negative disables).
+	RoundInnerEpsilon float64
+	// RoundPermutations is the per-round sampling budget (0 = n·log2(n+1)).
+	RoundPermutations int
+	// RoundSeed drives the engine's permutation sampling.
+	RoundSeed int64
+	// RoundWorkers bounds concurrent coalition evaluations per round
+	// (0 = GOMAXPROCS). Scores are bit-identical at any value.
+	RoundWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +198,8 @@ type state struct {
 	uploads  []core.TrainingUpload
 	frames   [][]byte // accepted protocol frames, byte-for-byte as uploaded
 	parts    int      // highest participant id seen + 1
+	rounds   *rounds.Engine
+	evalRaw  []byte // streaming eval set CSV exactly as registered
 	// version counts accepted mutations; trace cache keys include it so any
 	// state change invalidates prior results.
 	version uint64
@@ -193,6 +213,12 @@ type Server struct {
 	st     state
 	store  *store.Store // nil when ephemeral
 	engine *jobs.Engine
+
+	// roundsMu serializes round-update ingest end to end (compute →
+	// persist → apply): exactly one round is in flight at a time, which is
+	// what makes the streaming score sequence deterministic under
+	// concurrent pushers. Never taken while holding mu.
+	roundsMu sync.Mutex
 
 	// Degraded-mode state, guarded by mu (write lock): walFails counts
 	// consecutive WAL append failures; once it reaches DegradedThreshold the
@@ -225,6 +251,11 @@ type Server struct {
 	predictSeconds  *telemetry.Histogram
 	predictRows     *telemetry.Counter
 	predictInFlight *telemetry.Gauge
+
+	// roundsObs instruments the streaming valuation engine; registered at
+	// construction so the families are visible to scrapes before any
+	// engine exists.
+	roundsObs *rounds.Obs
 
 	closeOnce sync.Once
 	closeErr  error
@@ -262,6 +293,7 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.predictSeconds = s.reg.Histogram("ctfl_predict_request_seconds", "POST /v1/predict latency", nil)
 	s.predictRows = s.reg.Counter("ctfl_predict_rows_total", "feature rows scored by POST /v1/predict")
 	s.predictInFlight = s.reg.Gauge("ctfl_predict_in_flight", "predict requests currently being served")
+	s.roundsObs = rounds.NewObs(s.reg)
 	// The server never trains, but registering the family keeps the full
 	// metric catalog visible to scrapes from process start.
 	_ = nn.TrainTelemetry(s.reg)
@@ -299,6 +331,8 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.route("/v1/model", s.handleModel)
 	s.route("/v1/uploads", s.handleUploads)
 	s.route("/v1/predict", s.handlePredict)
+	s.route("/v1/rounds", s.handleRounds)
+	s.route("/v1/scores", s.handleScores)
 	s.route("/v1/trace", s.handleTrace)
 	s.route("/v1/trace/{id}", s.handleTraceJob)
 	s.route("/v1/rules", s.handleRules)
@@ -376,6 +410,22 @@ func (s *Server) applyEvent(ev store.Event) error {
 			return fmt.Errorf("upload width %d, rules %d", info.RuleWidth, s.st.rs.Width())
 		}
 		return s.applyUploadFrame(ev.Payload)
+	case store.EventRoundEval:
+		if s.st.enc == nil || s.st.model == nil {
+			return errors.New("round-eval event before encoder/model")
+		}
+		test, err := parseRoundEval(s.st.enc, ev.Payload)
+		if err != nil {
+			return err
+		}
+		s.applyRoundEval(test, ev.Payload)
+		return nil
+	case store.EventRound:
+		if s.st.rounds == nil {
+			return errors.New("round event before evaluation set")
+		}
+		// Pure score arithmetic: replay never re-evaluates a coalition.
+		return s.st.rounds.ApplyPayload(ev.Payload)
 	case store.EventNop:
 		// Degraded-mode health probes carry no state.
 		return nil
@@ -393,6 +443,7 @@ func (s *Server) applyEncoder(enc *dataset.Encoder, raw []byte) {
 	// A new encoding invalidates any model and uploads tied to the old one.
 	s.st.model, s.st.modelRaw, s.st.rs, s.st.bin = nil, nil, nil, nil
 	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
+	s.st.rounds, s.st.evalRaw = nil, nil
 	s.st.version++
 }
 
@@ -400,8 +451,10 @@ func (s *Server) applyModel(m *nn.Model, raw []byte) {
 	s.st.model, s.st.modelRaw = m, raw
 	s.st.rs = rules.Extract(m, s.st.enc)
 	s.st.bin = m.Binarize()
-	// Uploads reference the previous model's rule space.
+	// Uploads reference the previous model's rule space; the round stream
+	// reconstructs coalitions of the previous model's parameters.
 	s.st.uploads, s.st.frames, s.st.parts = nil, nil, 0
+	s.st.rounds, s.st.evalRaw = nil, nil
 	s.st.version++
 }
 
@@ -434,6 +487,14 @@ func (s *Server) snapshotEventsLocked() []store.Event {
 	}
 	for _, f := range s.st.frames {
 		events = append(events, store.Event{Type: store.EventUpload, Payload: f})
+	}
+	if s.st.evalRaw != nil {
+		events = append(events, store.Event{Type: store.EventRoundEval, Payload: s.st.evalRaw})
+		if s.st.rounds != nil {
+			for _, p := range s.st.rounds.Payloads() {
+				events = append(events, store.Event{Type: store.EventRound, Payload: p})
+			}
+		}
 	}
 	return events
 }
@@ -999,6 +1060,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"records":      len(s.st.uploads),
 		"participants": s.st.parts,
 		"degraded":     s.degraded,
+	}
+	if s.st.rounds != nil {
+		st["rounds"] = s.st.rounds.Rounds()
 	}
 	s.mu.RUnlock()
 	resp := StatsResponse{

@@ -85,6 +85,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
+	// Staleness is a passive gauge: refresh it from the engine clock at
+	// scrape time so Prometheus sees how long the scores have sat still.
+	s.mu.RLock()
+	eng := s.st.rounds
+	s.mu.RUnlock()
+	if eng != nil {
+		s.roundsObs.Staleness.Set(eng.Staleness().Seconds())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }

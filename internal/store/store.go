@@ -53,6 +53,13 @@ const (
 	EventModel byte = 2
 	// EventUpload carries one canonical protocol upload frame.
 	EventUpload byte = 3
+	// EventRoundEval carries the streaming-valuation evaluation set as CSV,
+	// exactly as registered (see internal/rounds).
+	EventRoundEval byte = 5
+	// EventRound carries one round-stream outcome record (rounds.Outcome
+	// payload): the durable unit that lets a restarted server resume
+	// streaming contribution scores bit-identically with zero recomputation.
+	EventRound byte = 6
 	// EventNop carries nothing: it is the degraded-mode health probe — a
 	// minimal append whose only purpose is to prove the WAL is writable
 	// again. Replay treats it as a no-op.

@@ -131,6 +131,11 @@ type ShapleyConfig struct {
 	// grand, and depth-1 permutation prefixes) before walking so a batching
 	// oracle can train them concurrently. Oracle.EvalBatch fits.
 	Warm func([]uint64) error
+	// Truncated, when non-nil, is incremented once per permutation walk the
+	// TruncationEps early stop actually cut short (walks that reach the last
+	// participant are not counted). The streaming engine surfaces this as
+	// its within-round truncation telemetry.
+	Truncated *atomic.Int64
 }
 
 // SampledShapley estimates the Shapley value by Monte-Carlo permutation
@@ -189,6 +194,9 @@ func SampledShapley(n int, v Utility, cfg ShapleyConfig) ([]float64, error) {
 			steps = append(steps, step{idx: i, delta: cur - prev})
 			prev = cur
 			if cfg.TruncationEps > 0 && math.Abs(vFull-cur) < cfg.TruncationEps {
+				if len(steps) < n && cfg.Truncated != nil {
+					cfg.Truncated.Add(1)
+				}
 				break
 			}
 		}

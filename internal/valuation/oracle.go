@@ -122,13 +122,31 @@ func NewOracle(trainer *fl.Trainer, parts []*fl.Participant, test *dataset.Table
 	return o, nil
 }
 
+// NewFuncOracle builds an oracle over n virtual participants whose utility
+// is computed by fn instead of FedAvg retraining: the same memoizing,
+// deduplicating, bounded-worker machinery over an arbitrary coalition game.
+// The streaming round-valuation engine (internal/rounds) uses it with
+// per-round model reconstruction as the utility; EmptyUtility defaults to 0
+// and should be set by the caller when v(∅) is meaningful.
+func NewFuncOracle(n int, fn func(mask uint64) (float64, error)) (*Oracle, error) {
+	if n > MaxParticipants {
+		return nil, fmt.Errorf("valuation: %d participants exceed the %d addressable by the uint64 coalition mask",
+			n, MaxParticipants)
+	}
+	o := &Oracle{n: n, trainFn: fn}
+	o.initShards()
+	return o, nil
+}
+
 // newSyntheticOracle builds an oracle over n virtual participants whose
 // "training" is the given function — the engine's concurrency, dedup and
 // determinism machinery without FedAvg cost. In-package only (tests,
 // benchmarks).
 func newSyntheticOracle(n int, fn func(mask uint64) (float64, error)) *Oracle {
-	o := &Oracle{n: n, trainFn: fn}
-	o.initShards()
+	o, err := NewFuncOracle(n, fn)
+	if err != nil {
+		panic(err)
+	}
 	return o
 }
 

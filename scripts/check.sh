@@ -28,8 +28,8 @@ go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/... ./inte
 echo "== go test -race (service layer: store, jobs, server, telemetry)"
 go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/...
 
-echo "== go test -race (valuation engine + FL trainer, parallel paths exercised)"
-go test -race ./internal/valuation/... ./internal/fl/...
+echo "== go test -race (valuation engine + round stream + FL trainer, parallel paths exercised)"
+go test -race ./internal/valuation/... ./internal/rounds/... ./internal/fl/...
 go test -race -short ./internal/experiments/...
 
 echo "== go test ./... (full suite)"
@@ -42,10 +42,11 @@ go test -run=TestUtilityCacheHitZeroAlloc -count=1 -v ./internal/valuation/ | gr
 
 echo "== zero-alloc pins (wire-protocol ingest + predict hot paths)"
 go test -run=TestValidateUploadFrameZeroAlloc -count=1 -v ./internal/protocol/ | grep -E 'PASS|FAIL|allocates'
+go test -run=TestValidateRoundUpdateFrameZeroAlloc -count=1 -v ./internal/protocol/ | grep -E 'PASS|FAIL|allocates'
 go test -run=TestBinarizedScoreBatchZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'PASS|FAIL|allocates'
 
 echo "== fuzz smoke (wire-protocol decoders, 3s each)"
-for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult; do
+for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult FuzzRoundUpdate FuzzScoresSnapshot; do
     go test -run=NONE -fuzz="^${tgt}\$" -fuzztime=3s ./internal/protocol/ | tail -1
 done
 
@@ -56,6 +57,8 @@ go test -run=NONE -bench='BenchmarkOracleBatch|BenchmarkSampledShapleyParallel' 
     ./internal/valuation/
 go test -run=NONE -bench='BenchmarkTraceResult|BenchmarkUploadIngest' -benchtime=1x \
     ./internal/protocol/
+go test -run=NONE -bench='BenchmarkRoundIngest|BenchmarkIncrementalScores' -benchtime=1x \
+    ./internal/rounds/
 
 echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
 tmpbin="$(mktemp -d)"

@@ -38,6 +38,9 @@ var requiredFamilies = []string{
 	"ctfl_train_epochs_total",
 	"ctfl_train_epoch_seconds",
 	"ctfl_server_degraded",
+	"ctfl_rounds_ingested_total",
+	"ctfl_rounds_skipped_total",
+	"ctfl_rounds_score_staleness_seconds",
 }
 
 func main() {
