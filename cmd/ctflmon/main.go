@@ -1,0 +1,47 @@
+// Command ctflmon is a live terminal monitor for a running ctflsrv: a RED
+// table per route (rate, errors, p99 latency), every SLO objective's
+// multi-window burn rate with a sparkline history, and the flight
+// recorder's recent tail events — the at-a-glance view an operator keeps
+// open during an incident.
+//
+// Usage:
+//
+//	ctflmon [-addr http://localhost:8080] [-interval 2s] [-n 10] [-once]
+//
+// It needs only the server's public surface: GET /metrics (Prometheus
+// text) and GET /v1/events (JSON). -once prints a single frame and exits
+// (scriptable capture); otherwise the screen redraws every -interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "ctflsrv base URL")
+	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
+	tailN := flag.Int("n", 10, "recent flight events to display")
+	once := flag.Bool("once", false, "print one frame and exit")
+	flag.Parse()
+
+	m := newMonitor(*addr, *tailN)
+	for {
+		frame, err := m.scrape(time.Now())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctflmon: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else if *once {
+			fmt.Print(frame)
+			return
+		} else {
+			// Clear + home, then the frame: a cheap full-screen redraw.
+			fmt.Print("\x1b[2J\x1b[H" + frame)
+		}
+		time.Sleep(*interval)
+	}
+}

@@ -1,0 +1,398 @@
+package main
+
+// Scrape + render core of ctflmon, kept free of terminal control so the
+// tests can drive one frame end to end against an httptest server.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// sample is one /metrics scrape: every sample line parsed into a flat
+// name → value map (full name, labels included), stamped with scrape time.
+type sample struct {
+	at     time.Time
+	values map[string]float64
+}
+
+// parseMetrics parses Prometheus text exposition into a flat map. Comment
+// lines are skipped; unparseable lines are ignored rather than fatal (a
+// monitor should degrade, not crash, on a new exposition quirk).
+func parseMetrics(r io.Reader) map[string]float64 {
+	out := make(map[string]float64)
+	var b strings.Builder
+	if _, err := io.Copy(&b, r); err != nil {
+		return out
+	}
+	for _, line := range strings.Split(b.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// splitMetricName separates a full sample name into its base and parsed
+// label pairs: `a_bucket{route="/x",le="0.25"}` → ("a_bucket",
+// {route:/x, le:0.25}).
+func splitMetricName(full string) (string, map[string]string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 || !strings.HasSuffix(full, "}") {
+		return full, nil
+	}
+	labels := make(map[string]string)
+	body := full[i+1 : len(full)-1]
+	for len(body) > 0 {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || eq+1 >= len(body) || body[eq+1] != '"' {
+			break
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		end := strings.IndexByte(rest, '"')
+		if end < 0 {
+			break
+		}
+		labels[key] = rest[:end]
+		body = rest[end+1:]
+		body = strings.TrimPrefix(body, ",")
+	}
+	return full[:i], labels
+}
+
+// bucketPoint is one cumulative histogram bucket.
+type bucketPoint struct {
+	le  float64 // upper bound, +Inf allowed
+	cum float64
+}
+
+// estimateQuantile linearly interpolates q within cumulative buckets,
+// mirroring the server's own histogram quantile semantics. Returns 0 on an
+// empty histogram; the +Inf bucket answers with the last finite bound.
+func estimateQuantile(buckets []bucketPoint, q float64) float64 {
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].cum
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	lower, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank && b.cum > prevCum {
+			if b.le == inf {
+				return lower
+			}
+			frac := (rank - prevCum) / (b.cum - prevCum)
+			return lower + frac*(b.le-lower)
+		}
+		if b.le != inf {
+			lower = b.le
+		}
+		prevCum = b.cum
+	}
+	return lower
+}
+
+var inf = func() float64 { v, _ := strconv.ParseFloat("+Inf", 64); return v }()
+
+// routeRow is one line of the RED table.
+type routeRow struct {
+	route    string
+	requests float64
+	rate     float64 // req/s since the previous sample
+	errors   float64 // cumulative 5xx
+	p99      float64 // seconds, estimated from buckets
+}
+
+// redTable derives per-route request/error/latency rows from a scrape,
+// with rates differenced against the previous sample (nil prev → 0 rates).
+func redTable(prev, cur *sample) []routeRow {
+	byRoute := make(map[string]*routeRow)
+	row := func(route string) *routeRow {
+		r, ok := byRoute[route]
+		if !ok {
+			r = &routeRow{route: route}
+			byRoute[route] = r
+		}
+		return r
+	}
+	buckets := make(map[string][]bucketPoint)
+	for name, v := range cur.values {
+		base, labels := splitMetricName(name)
+		route := labels["route"]
+		if route == "" {
+			continue
+		}
+		switch base {
+		case "ctfl_http_requests_total":
+			r := row(route)
+			r.requests = v
+			if prev != nil {
+				if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+					if pv, ok := prev.values[name]; ok && v >= pv {
+						r.rate = (v - pv) / dt
+					}
+				}
+			}
+		case "ctfl_http_errors_total":
+			row(route).errors = v
+		case "ctfl_http_request_seconds_bucket":
+			le, err := strconv.ParseFloat(labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			buckets[route] = append(buckets[route], bucketPoint{le: le, cum: v})
+		}
+	}
+	for route, bs := range buckets {
+		row(route).p99 = estimateQuantile(bs, 0.99)
+	}
+	rows := make([]routeRow, 0, len(byRoute))
+	for _, r := range byRoute {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].route < rows[j].route })
+	return rows
+}
+
+// sloRow is one objective's live burn state plus its sparkline history.
+type sloRow struct {
+	name     string
+	fast     float64
+	slow     float64
+	breached bool
+}
+
+// sloRows extracts every objective's burn gauges from a scrape.
+func sloRows(cur *sample) []sloRow {
+	byName := make(map[string]*sloRow)
+	row := func(name string) *sloRow {
+		r, ok := byName[name]
+		if !ok {
+			r = &sloRow{name: name}
+			byName[name] = r
+		}
+		return r
+	}
+	for name, v := range cur.values {
+		base, labels := splitMetricName(name)
+		slo := labels["slo"]
+		if slo == "" {
+			continue
+		}
+		switch base {
+		case "ctfl_slo_burn_rate":
+			switch labels["window"] {
+			case "fast":
+				row(slo).fast = v
+			case "slow":
+				row(slo).slow = v
+			}
+		case "ctfl_slo_breach":
+			row(slo).breached = v != 0
+		}
+	}
+	rows := make([]sloRow, 0, len(byName))
+	for _, r := range byName {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders a history as block glyphs, scaled to the series max
+// (all-zero history → a flat baseline).
+func sparkline(hist []float64) string {
+	maxV := 0.0
+	for _, v := range hist {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range hist {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// tailEvent is the subset of the server's /v1/events JSON the monitor
+// displays.
+type tailEvent struct {
+	Seq        uint64 `json:"seq"`
+	Unix       int64  `json:"unix"`
+	Kind       string `json:"kind"`
+	Outcome    string `json:"outcome"`
+	Status     int32  `json:"status"`
+	Route      string `json:"route"`
+	Method     string `json:"method"`
+	DurationNs int64  `json:"duration_ns"`
+	Retries    int32  `json:"retries"`
+	Faults     int32  `json:"faults"`
+	Err        string `json:"err"`
+}
+
+type eventsPayload struct {
+	Stats struct {
+		Recorded uint64 `json:"recorded"`
+		Retained int    `json:"retained"`
+		Pinned   int    `json:"pinned"`
+	} `json:"stats"`
+	Events []tailEvent `json:"events"`
+}
+
+// monitor owns one target server's scrape state and burn history.
+type monitor struct {
+	base     string // server base URL, no trailing slash
+	client   *http.Client
+	tailN    int
+	prev     *sample
+	burnHist map[string][]float64 // objective → fast-burn history
+	histCap  int
+}
+
+func newMonitor(base string, tailN int) *monitor {
+	return &monitor{
+		base:     strings.TrimRight(base, "/"),
+		client:   &http.Client{Timeout: 10 * time.Second},
+		tailN:    tailN,
+		burnHist: make(map[string][]float64),
+		histCap:  24,
+	}
+}
+
+func (m *monitor) get(path string) (*http.Response, error) {
+	resp, err := m.client.Get(m.base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// scrape pulls /metrics and /v1/events and renders one frame.
+func (m *monitor) scrape(now time.Time) (string, error) {
+	resp, err := m.get("/metrics")
+	if err != nil {
+		return "", err
+	}
+	cur := &sample{at: now, values: parseMetrics(resp.Body)}
+	resp.Body.Close()
+
+	var events eventsPayload
+	if resp, err = m.get(fmt.Sprintf("/v1/events?n=%d", m.tailN)); err == nil {
+		err = json.NewDecoder(resp.Body).Decode(&events)
+		resp.Body.Close()
+	}
+	if err != nil {
+		return "", err
+	}
+
+	slos := sloRows(cur)
+	for _, o := range slos {
+		h := append(m.burnHist[o.name], o.fast)
+		if len(h) > m.histCap {
+			h = h[len(h)-m.histCap:]
+		}
+		m.burnHist[o.name] = h
+	}
+	frame := renderFrame(m.prev, cur, slos, m.burnHist, events)
+	m.prev = cur
+	return frame, nil
+}
+
+// renderFrame lays out one monitor frame: header, RED table, SLO burn
+// rates with sparklines, and the recent flight-recorder tail.
+func renderFrame(prev, cur *sample, slos []sloRow, burnHist map[string][]float64, events eventsPayload) string {
+	var b strings.Builder
+	degraded := cur.values["ctfl_server_degraded"] != 0
+	state := "healthy"
+	if degraded {
+		state = "DEGRADED"
+	}
+	fmt.Fprintf(&b, "ctflsrv %s  uptime %s  goroutines %.0f  heap %s  [%s]\n\n",
+		cur.at.Format("15:04:05"),
+		(time.Duration(cur.values["ctfl_process_uptime_seconds"]) * time.Second).String(),
+		cur.values["ctfl_process_goroutines"],
+		fmtBytes(cur.values["ctfl_process_heap_alloc_bytes"]),
+		state)
+
+	fmt.Fprintf(&b, "%-22s %10s %8s %8s %9s\n", "ROUTE", "REQUESTS", "RATE/S", "5XX", "P99")
+	for _, r := range redTable(prev, cur) {
+		fmt.Fprintf(&b, "%-22s %10.0f %8.1f %8.0f %8.1fms\n",
+			r.route, r.requests, r.rate, r.errors, r.p99*1000)
+	}
+
+	fmt.Fprintf(&b, "\n%-28s %8s %8s %-8s %s\n", "SLO", "FAST", "SLOW", "STATE", "BURN")
+	for _, o := range slos {
+		st := "ok"
+		if o.breached {
+			st = "BREACH"
+		}
+		fmt.Fprintf(&b, "%-28s %8.2f %8.2f %-8s %s\n",
+			o.name, o.fast, o.slow, st, sparkline(burnHist[o.name]))
+	}
+
+	fmt.Fprintf(&b, "\nflight: %d recorded, %d retained, %d pinned\n",
+		events.Stats.Recorded, events.Stats.Retained, events.Stats.Pinned)
+	evs := events.Events
+	for i := len(evs) - 1; i >= 0; i-- { // newest first
+		ev := evs[i]
+		detail := ev.Err
+		if len(detail) > 48 {
+			detail = detail[:48]
+		}
+		fmt.Fprintf(&b, "  #%-6d %-7s %-8s %3s %-22s %7.1fms %s\n",
+			ev.Seq, ev.Kind, ev.Outcome, statusStr(ev.Status), ev.Route,
+			float64(ev.DurationNs)/1e6, detail)
+	}
+	return b.String()
+}
+
+func statusStr(code int32) string {
+	if code == 0 {
+		return "-"
+	}
+	return strconv.Itoa(int(code))
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestParseMetrics(t *testing.T) {
+	text := `# HELP ctfl_http_requests_total HTTP requests served, by route
+# TYPE ctfl_http_requests_total counter
+ctfl_http_requests_total{route="/healthz"} 5
+ctfl_http_request_seconds_bucket{route="/healthz",le="0.25"} 4
+ctfl_http_request_seconds_bucket{route="/healthz",le="+Inf"} 5
+ctfl_slo_burn_rate{slo="availability",window="fast"} 1.5
+garbage line without value x
+ctfl_process_goroutines 12
+`
+	vals := parseMetrics(strings.NewReader(text))
+	for name, want := range map[string]float64{
+		`ctfl_http_requests_total{route="/healthz"}`:                   5,
+		`ctfl_http_request_seconds_bucket{route="/healthz",le="0.25"}`: 4,
+		`ctfl_slo_burn_rate{slo="availability",window="fast"}`:         1.5,
+		"ctfl_process_goroutines":                                      12,
+	} {
+		if got := vals[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestSplitMetricName(t *testing.T) {
+	base, labels := splitMetricName(`ctfl_http_request_seconds_bucket{route="/v1/trace/{id}",le="0.25"}`)
+	if base != "ctfl_http_request_seconds_bucket" {
+		t.Fatalf("base = %q", base)
+	}
+	if labels["route"] != "/v1/trace/{id}" || labels["le"] != "0.25" {
+		t.Fatalf("labels = %v", labels)
+	}
+	base, labels = splitMetricName("ctfl_process_goroutines")
+	if base != "ctfl_process_goroutines" || labels != nil {
+		t.Fatalf("unlabeled: base %q labels %v", base, labels)
+	}
+}
+
+func TestEstimateQuantileEdges(t *testing.T) {
+	if q := estimateQuantile(nil, 0.99); q != 0 {
+		t.Fatalf("empty histogram p99 = %v", q)
+	}
+	// All observations in the first bucket: interpolate within [0, 0.1].
+	b := []bucketPoint{{le: 0.1, cum: 10}, {le: 0.5, cum: 10}, {le: inf, cum: 10}}
+	q := estimateQuantile(b, 0.5)
+	if q <= 0 || q > 0.1 {
+		t.Fatalf("p50 = %v, want within (0, 0.1]", q)
+	}
+	// Overflow-bucket mass answers with the last finite bound.
+	b = []bucketPoint{{le: 0.1, cum: 0}, {le: 0.5, cum: 0}, {le: inf, cum: 4}}
+	if q := estimateQuantile(b, 0.99); q != 0.5 {
+		t.Fatalf("overflow p99 = %v, want 0.5", q)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline([]float64{0, 0, 0}); s != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", s)
+	}
+	s := sparkline([]float64{0, 1, 2, 4})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length = %d", len([]rune(s)))
+	}
+	if []rune(s)[3] != '█' {
+		t.Fatalf("max sample not rendered full: %q", s)
+	}
+}
+
+// TestMonitorFrameAgainstLiveServer drives one full scrape → render cycle
+// against a real in-process ctflsrv and checks the frame carries the RED
+// table, SLO objectives, and the flight tail.
+func TestMonitorFrameAgainstLiveServer(t *testing.T) {
+	s := server.New()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Close(ctx); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	}()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Traffic: two OKs and one 409 rejection (pinned flight event).
+	for _, path := range []string{"/healthz", "/healthz", "/v1/rules"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	m := newMonitor(ts.URL, 10)
+	frame1, err := m.scrape(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second scrape exercises the rate differencing path.
+	frame, err := m.scrape(time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"/healthz", "/v1/rules", // RED table rows
+		"wal_availability", "availability", "score_staleness", // SLO rows
+		"latency:/healthz", // per-route latency objective
+		"flight:",          // tail header
+		"rejected",         // the pinned 409 event
+		"goroutines",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if frame1 == "" {
+		t.Error("first frame empty")
+	}
+}

@@ -9,6 +9,8 @@
 //	        [-retry-after 1s] [-read-timeout 5m] [-write-timeout 10m]
 //	        [-idle-timeout 2m] [-round-epsilon 0.001] [-round-inner-epsilon 0]
 //	        [-round-perms 0] [-round-seed 1] [-round-workers 0]
+//	        [-flight-size 1024] [-flight-tail 256] [-slo-interval 5s]
+//	        [-slo-latency-bound 0.25]
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
@@ -39,6 +41,9 @@
 //	GET  /v1/rules         inspect the extracted rules
 //	GET  /v1/stats         observability counters + telemetry snapshot
 //	GET  /v1/traces/recent recent request trace trees
+//	GET  /v1/events        flight-recorder wide events (JSON or binary)
+//	GET  /v1/debug/bundle  one-shot incident capture
+//	GET  /v1/version       build identity
 //	GET  /metrics          Prometheus text exposition
 //	GET  /healthz          liveness and state summary
 //
@@ -86,6 +91,10 @@ func main() {
 	roundPerms := flag.Int("round-perms", 0, "permutation samples per streamed round (0 = engine default)")
 	roundSeed := flag.Int64("round-seed", 1, "seed for the streaming valuation sampler")
 	roundWorkers := flag.Int("round-workers", 0, "coalition-evaluation workers per streamed round (0 = engine default)")
+	flightSize := flag.Int("flight-size", 1024, "flight recorder routine-ring capacity (events)")
+	flightTail := flag.Int("flight-tail", 256, "flight recorder pinned-tail capacity (interesting events)")
+	sloInterval := flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation cadence (negative disables)")
+	sloLatencyBound := flag.Float64("slo-latency-bound", 0.25, "per-route latency SLO threshold in seconds")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -114,6 +123,10 @@ func main() {
 		RoundPermutations: *roundPerms,
 		RoundSeed:         *roundSeed,
 		RoundWorkers:      *roundWorkers,
+		FlightSize:        *flightSize,
+		FlightTailSize:    *flightTail,
+		SLOInterval:       *sloInterval,
+		SLOLatencyBound:   *sloLatencyBound,
 	})
 	if err != nil {
 		logger.Error("ctflsrv: startup failed", "err", err)

@@ -1,0 +1,288 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func reqEvent(route string, status int, dur time.Duration) Event {
+	out := OutcomeOK
+	switch {
+	case status >= 500:
+		out = OutcomeError
+	case status >= 400:
+		out = OutcomeRejected
+	}
+	return Event{
+		Kind:       KindRequest,
+		Outcome:    out,
+		Status:     int32(status),
+		Route:      route,
+		Method:     "GET",
+		DurationNs: int64(dur),
+	}
+}
+
+func TestRecordAssignsSequence(t *testing.T) {
+	r := New(Config{Size: 8, TailSize: 4})
+	for i := 0; i < 3; i++ {
+		r.Record(reqEvent("/healthz", 200, time.Millisecond))
+	}
+	evs := r.Snapshot(Filter{})
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Unix == 0 {
+			t.Fatalf("event %d has no timestamp", i)
+		}
+	}
+	if st := r.Stats(); st.Recorded != 3 || st.Retained != 3 || st.Pinned != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTailRetentionPinsInterestingEvents(t *testing.T) {
+	obs := NewObs(telemetry.NewRegistry())
+	r := New(Config{Size: 4, TailSize: 8, Obs: obs})
+	// One error early, then a flood of routine traffic far larger than the
+	// routine ring: the error must survive.
+	r.Record(reqEvent("/v1/uploads", 503, time.Millisecond))
+	for i := 0; i < 100; i++ {
+		r.Record(reqEvent("/healthz", 200, time.Millisecond))
+	}
+	evs := r.Snapshot(Filter{})
+	if len(evs) != 5 { // 4 routine + 1 pinned
+		t.Fatalf("retained %d events, want 5", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].Status != 503 || evs[0].Outcome != OutcomeError {
+		t.Fatalf("pinned event lost: first retained = %+v", evs[0])
+	}
+	// The merge preserves ascending sequence order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if obs.Pinned.Value() != 1 {
+		t.Fatalf("pinned counter = %d", obs.Pinned.Value())
+	}
+	if obs.EvictedRoutine.Value() != 100-4 {
+		t.Fatalf("routine evictions = %d, want 96", obs.EvictedRoutine.Value())
+	}
+	if obs.Recorded.Value() != 101 {
+		t.Fatalf("recorded = %d", obs.Recorded.Value())
+	}
+}
+
+func TestTailRingEvictsOldestInteresting(t *testing.T) {
+	obs := NewObs(telemetry.NewRegistry())
+	r := New(Config{Size: 4, TailSize: 2, Obs: obs})
+	for i := 0; i < 5; i++ {
+		r.Record(reqEvent("/v1/trace", 500, time.Millisecond))
+	}
+	out := OutcomeError
+	evs := r.Snapshot(Filter{Outcome: &out})
+	if len(evs) != 2 {
+		t.Fatalf("tail retained %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 4 || evs[1].Seq != 5 {
+		t.Fatalf("tail kept seqs %d,%d; want 4,5", evs[0].Seq, evs[1].Seq)
+	}
+	if obs.EvictedTail.Value() != 3 {
+		t.Fatalf("tail evictions = %d, want 3", obs.EvictedTail.Value())
+	}
+}
+
+func TestDegradedAndFaultedEventsArePinned(t *testing.T) {
+	r := New(Config{Size: 2, TailSize: 8})
+	r.Record(Event{Kind: KindRequest, Route: "/v1/model", Status: 204, Degraded: true})
+	r.Record(Event{Kind: KindJob, Route: "job.trace", Faults: 2})
+	r.Record(Event{Kind: KindWAL, Route: "store.append", Outcome: OutcomeError, Err: "injected"})
+	for i := 0; i < 50; i++ {
+		r.Record(reqEvent("/healthz", 200, time.Microsecond))
+	}
+	if st := r.Stats(); st.Pinned != 3 {
+		t.Fatalf("pinned = %d, want 3 (degraded, faulted, WAL error)", st.Pinned)
+	}
+}
+
+func TestSlowDetectionPinsTailLatency(t *testing.T) {
+	r := New(Config{Size: 256, TailSize: 16, SlowMinSamples: 32})
+	// Build a tight latency profile, then send one extreme outlier.
+	for i := 0; i < 200; i++ {
+		r.Record(reqEvent("/v1/predict", 200, 500*time.Microsecond))
+	}
+	r.Record(reqEvent("/v1/predict", 200, 2*time.Second))
+	out := OutcomeSlow
+	slow := r.Snapshot(Filter{Outcome: &out})
+	if len(slow) != 1 {
+		t.Fatalf("slow events = %d, want exactly the outlier", len(slow))
+	}
+	if slow[0].DurationNs != int64(2*time.Second) {
+		t.Fatalf("pinned the wrong event: %+v", slow[0])
+	}
+	if st := r.Stats(); st.Pinned != 1 {
+		t.Fatalf("pinned = %d", st.Pinned)
+	}
+}
+
+func TestSlowDetectionNeedsSamples(t *testing.T) {
+	r := New(Config{Size: 64, TailSize: 8, SlowMinSamples: 32})
+	// Far fewer samples than the activation floor: nothing may be called
+	// slow yet, however extreme.
+	r.Record(reqEvent("/v1/trace", 200, time.Millisecond))
+	r.Record(reqEvent("/v1/trace", 200, 10*time.Second))
+	if st := r.Stats(); st.Pinned != 0 {
+		t.Fatalf("pinned = %d before the classifier had samples", st.Pinned)
+	}
+}
+
+func TestSnapshotFilters(t *testing.T) {
+	r := New(Config{Size: 64, TailSize: 16})
+	r.Record(reqEvent("/a", 200, 1*time.Millisecond))
+	r.Record(reqEvent("/b", 503, 2*time.Millisecond))
+	r.Record(Event{Kind: KindRound, Route: "/v1/rounds", Status: 200, DurationNs: int64(5 * time.Millisecond), Aux: 7})
+	r.Record(reqEvent("/c", 404, 3*time.Millisecond))
+
+	if got := r.Snapshot(Filter{Since: 2}); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("since=2: %+v", got)
+	}
+	if got := r.Snapshot(Filter{MinDuration: 3 * time.Millisecond}); len(got) != 2 {
+		t.Fatalf("min_latency: %+v", got)
+	}
+	out := OutcomeRejected
+	if got := r.Snapshot(Filter{Outcome: &out}); len(got) != 1 || got[0].Status != 404 {
+		t.Fatalf("outcome=rejected: %+v", got)
+	}
+	if got := r.Snapshot(Filter{Kind: KindRound}); len(got) != 1 || got[0].Aux != 7 {
+		t.Fatalf("kind=round: %+v", got)
+	}
+	if got := r.Snapshot(Filter{Limit: 2}); len(got) != 2 || got[1].Seq != 4 {
+		t.Fatalf("limit=2 keeps newest: %+v", got)
+	}
+}
+
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	r.Record(reqEvent("/x", 200, time.Millisecond))
+	if got := r.Snapshot(Filter{}); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	if st := r.Stats(); st != (Stats{}) {
+		t.Fatalf("nil recorder stats = %+v", st)
+	}
+}
+
+func TestOutcomeStringRoundTrip(t *testing.T) {
+	for _, o := range []Outcome{OutcomeOK, OutcomeError, OutcomeRejected, OutcomeSlow, OutcomeDegraded} {
+		got, ok := ParseOutcome(o.String())
+		if !ok || got != o {
+			t.Fatalf("outcome %d round-tripped to %d (ok=%v)", o, got, ok)
+		}
+	}
+	if _, ok := ParseOutcome("nope"); ok {
+		t.Fatal("ParseOutcome accepted garbage")
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	r := New(Config{Size: 128, TailSize: 32})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			route := fmt.Sprintf("/r%d", g)
+			for i := 0; i < 500; i++ {
+				status := 200
+				if i%50 == 0 {
+					status = 500
+				}
+				r.Record(reqEvent(route, status, time.Duration(i)*time.Microsecond))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			_ = r.Snapshot(Filter{Limit: 32})
+			_ = r.Stats()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	if st := r.Stats(); st.Recorded != 8*500 {
+		t.Fatalf("recorded = %d, want %d", st.Recorded, 8*500)
+	}
+	// Sequence numbers in a snapshot stay strictly ascending under
+	// concurrency.
+	evs := r.Snapshot(Filter{})
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+// TestRecordSteadyStateZeroAlloc pins the tentpole cost contract: the
+// enabled recorder's routine Record path allocates nothing once the route
+// is known, and a nil recorder allocates nothing ever.
+func TestRecordSteadyStateZeroAlloc(t *testing.T) {
+	r := New(Config{Size: 256, TailSize: 32, Obs: NewObs(telemetry.NewRegistry())})
+	ev := reqEvent("/v1/predict", 200, time.Millisecond)
+	ev.RequestID = "abcdef0123456789"
+	r.Record(ev) // allocate the route's latency tracker up front
+	if allocs := testing.AllocsPerRun(100, func() { r.Record(ev) }); allocs != 0 {
+		t.Fatalf("enabled steady-state Record allocates %v times per call", allocs)
+	}
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(100, func() { nilRec.Record(ev) }); allocs != 0 {
+		t.Fatalf("nil recorder Record allocates %v times per call", allocs)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	r := New(Config{Size: 1024, TailSize: 256, Obs: NewObs(telemetry.NewRegistry())})
+	ev := reqEvent("/v1/predict", 200, time.Millisecond)
+	ev.RequestID = "abcdef0123456789"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkFlightRecordDisabled(b *testing.B) {
+	var r *Recorder
+	ev := reqEvent("/v1/predict", 200, time.Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}
+
+func BenchmarkFlightSnapshot(b *testing.B) {
+	r := New(Config{Size: 1024, TailSize: 256})
+	for i := 0; i < 2048; i++ {
+		status := 200
+		if i%64 == 0 {
+			status = 500
+		}
+		r.Record(reqEvent("/v1/predict", status, time.Millisecond))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot(Filter{Limit: 256})
+	}
+}

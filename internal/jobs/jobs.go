@@ -181,6 +181,12 @@ type Config struct {
 	// finished and the derived wait/run histograms). Nil means time.Now;
 	// tests inject a fake for deterministic timing assertions.
 	Now func() time.Time
+	// OnFinish observes every job reaching a terminal status (done or
+	// failed), with its final snapshot. It runs on the worker goroutine
+	// before the job's Done channel closes, so waiters always see the
+	// callback's effects; keep it cheap and never block. Nil disables.
+	// The server wires the flight recorder here.
+	OnFinish func(View)
 }
 
 func (c Config) withDefaults() Config {
@@ -467,6 +473,9 @@ func (e *Engine) run(j *Job) {
 	if quarantined {
 		e.obs.Quarantined.Inc()
 		e.quarantine(j)
+	}
+	if e.cfg.OnFinish != nil {
+		e.cfg.OnFinish(j.Snapshot())
 	}
 	close(j.done)
 	e.retire(j, err == nil)

@@ -19,6 +19,8 @@ package protocol
 //	type 5  round update      per-round participant model updates for the
 //	                          streaming valuation engine (see v2rounds.go)
 //	type 6  scores snapshot   streaming contribution scores (see v2rounds.go)
+//	type 7  flight events     wide-event flight-recorder snapshots for
+//	                          GET /v1/events (see v2flight.go)
 //
 // Negotiation is carried by HTTP, not by the frames: a request's
 // Content-Type selects the decoder (application/x-ctfl = binary frame,

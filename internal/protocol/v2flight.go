@@ -1,0 +1,180 @@
+package protocol
+
+// Flight-event frames: the v2 message behind the flight recorder
+// (internal/flight) and GET /v1/events.
+//
+//	type 7  flight events   count uint32, then per event:
+//	                        seq uint64, unix int64 (two's complement),
+//	                        kind uint8, outcome uint8, flags uint8
+//	                        (bit 0 cache-hit, bit 1 degraded),
+//	                        status uint32, durationNs uint64,
+//	                        bytesIn uint64, bytesOut uint64,
+//	                        retries uint32, faults uint32, aux uint64,
+//	                        route, method, requestID, err as
+//	                        length-prefixed strings (uint16 length)
+//
+// The encoder is canonical — one byte sequence per event list — so
+// encode(decode(frame)) reproduces the frame bit-identically; the chaos
+// soak and FuzzFlightEvents both pin that round trip. Decoding reuses the
+// caller's event slice, mirroring ParseTraceResultInto.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/flight"
+)
+
+// TypeFlightEvents is the v2 flight-events message type.
+const TypeFlightEvents = 7
+
+// maxFlightString bounds any string field in a flight event (uint16
+// length prefix).
+const maxFlightString = 1<<16 - 1
+
+// flightEventFixedLen is one encoded event's fixed-width prefix: seq,
+// unix, kind, outcome, flags, status, duration, bytesIn, bytesOut,
+// retries, faults, aux.
+const flightEventFixedLen = 8 + 8 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4 + 4 + 8
+
+const (
+	flightFlagCacheHit = 1 << 0
+	flightFlagDegraded = 1 << 1
+)
+
+func appendU64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func appendFlightString(dst []byte, s string) []byte {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+	dst = append(dst, b[:]...)
+	return append(dst, s...)
+}
+
+// AppendFlightEvents frames evs as one v2 flight-events message appended
+// to dst. Encoding is canonical: the same events always produce the same
+// bytes.
+func AppendFlightEvents(dst []byte, evs []flight.Event) ([]byte, error) {
+	if len(evs) > maxVecLen {
+		return nil, fmt.Errorf("protocol: %d flight events exceed limit", len(evs))
+	}
+	for i := range evs {
+		ev := &evs[i]
+		for _, s := range [...]string{ev.Route, ev.Method, ev.RequestID, ev.Err} {
+			if len(s) > maxFlightString {
+				return nil, fmt.Errorf("protocol: flight event %d string %d bytes exceeds %d",
+					i, len(s), maxFlightString)
+			}
+		}
+	}
+	out := appendFramed(dst, Version2, TypeFlightEvents, func(d []byte) []byte {
+		d = appendU32(d, uint32(len(evs)))
+		for i := range evs {
+			ev := &evs[i]
+			d = appendU64(d, ev.Seq)
+			d = appendU64(d, uint64(ev.Unix))
+			flags := byte(0)
+			if ev.CacheHit {
+				flags |= flightFlagCacheHit
+			}
+			if ev.Degraded {
+				flags |= flightFlagDegraded
+			}
+			d = append(d, byte(ev.Kind), byte(ev.Outcome), flags)
+			d = appendU32(d, uint32(ev.Status))
+			d = appendU64(d, uint64(ev.DurationNs))
+			d = appendU64(d, uint64(ev.BytesIn))
+			d = appendU64(d, uint64(ev.BytesOut))
+			d = appendU32(d, uint32(ev.Retries))
+			d = appendU32(d, uint32(ev.Faults))
+			d = appendU64(d, uint64(ev.Aux))
+			for _, s := range [...]string{ev.Route, ev.Method, ev.RequestID, ev.Err} {
+				d = appendFlightString(d, s)
+			}
+		}
+		return d
+	})
+	return out, nil
+}
+
+// ParseFlightEventsInto decodes a flight-events frame, appending the
+// events to dst (pass nil for a fresh slice). String fields are copied
+// out of the frame, so the result outlives the input buffer.
+func ParseFlightEventsInto(f Frame, dst []flight.Event) ([]flight.Event, error) {
+	if f.Version != Version2 || f.Type != TypeFlightEvents {
+		return nil, fmt.Errorf("protocol: not a flight-events frame (version %d type %d)", f.Version, f.Type)
+	}
+	body := f.Body
+	if len(body) < 4 {
+		return nil, fmt.Errorf("protocol: flight-events body too short (%d bytes)", len(body))
+	}
+	count := int64(binary.LittleEndian.Uint32(body[0:4]))
+	if count > maxVecLen {
+		return nil, fmt.Errorf("protocol: flight-event count %d exceeds limit", count)
+	}
+	at := int64(4)
+	str := func() (string, error) {
+		if at+2 > int64(len(body)) {
+			return "", fmt.Errorf("protocol: truncated flight string length")
+		}
+		n := int64(binary.LittleEndian.Uint16(body[at:]))
+		at += 2
+		if at+n > int64(len(body)) {
+			return "", fmt.Errorf("protocol: flight string %d bytes exceeds body", n)
+		}
+		s := string(body[at : at+n])
+		at += n
+		return s, nil
+	}
+	for i := int64(0); i < count; i++ {
+		if at+flightEventFixedLen > int64(len(body)) {
+			return nil, fmt.Errorf("protocol: truncated flight event %d", i)
+		}
+		var ev flight.Event
+		ev.Seq = binary.LittleEndian.Uint64(body[at:])
+		ev.Unix = int64(binary.LittleEndian.Uint64(body[at+8:]))
+		ev.Kind = flight.Kind(body[at+16])
+		ev.Outcome = flight.Outcome(body[at+17])
+		flags := body[at+18]
+		ev.CacheHit = flags&flightFlagCacheHit != 0
+		ev.Degraded = flags&flightFlagDegraded != 0
+		if flags&^(byte(flightFlagCacheHit|flightFlagDegraded)) != 0 {
+			return nil, fmt.Errorf("protocol: flight event %d has unknown flags %#x", i, flags)
+		}
+		ev.Status = int32(binary.LittleEndian.Uint32(body[at+19:]))
+		ev.DurationNs = int64(binary.LittleEndian.Uint64(body[at+23:]))
+		ev.BytesIn = int64(binary.LittleEndian.Uint64(body[at+31:]))
+		ev.BytesOut = int64(binary.LittleEndian.Uint64(body[at+39:]))
+		ev.Retries = int32(binary.LittleEndian.Uint32(body[at+47:]))
+		ev.Faults = int32(binary.LittleEndian.Uint32(body[at+51:]))
+		ev.Aux = int64(binary.LittleEndian.Uint64(body[at+55:]))
+		at += flightEventFixedLen
+		var err error
+		if ev.Route, err = str(); err != nil {
+			return nil, err
+		}
+		if ev.Method, err = str(); err != nil {
+			return nil, err
+		}
+		if ev.RequestID, err = str(); err != nil {
+			return nil, err
+		}
+		if ev.Err, err = str(); err != nil {
+			return nil, err
+		}
+		dst = append(dst, ev)
+	}
+	if at != int64(len(body)) {
+		return nil, fmt.Errorf("protocol: %d trailing bytes in flight-events body", int64(len(body))-at)
+	}
+	return dst, nil
+}
+
+// ParseFlightEvents decodes a flight-events frame into a fresh slice.
+func ParseFlightEvents(f Frame) ([]flight.Event, error) {
+	return ParseFlightEventsInto(f, nil)
+}

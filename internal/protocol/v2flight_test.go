@@ -1,0 +1,201 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/flight"
+)
+
+func sampleFlightEvents() []flight.Event {
+	return []flight.Event{
+		{
+			Seq: 1, Unix: 1700000000, Kind: flight.KindRequest,
+			Outcome: flight.OutcomeOK, Status: 200,
+			Route: "/v1/predict", Method: "POST", RequestID: "req-0001",
+			DurationNs: int64(3 * time.Millisecond),
+			BytesIn:    2048, BytesOut: 512, CacheHit: true,
+		},
+		{
+			Seq: 2, Unix: 1700000001, Kind: flight.KindJob,
+			Outcome: flight.OutcomeError, Status: 0,
+			Route: "job.trace", RequestID: "req-0002",
+			DurationNs: int64(90 * time.Millisecond),
+			Retries:    2, Faults: 1, Err: "injected fault: jobs.run",
+		},
+		{
+			Seq: 3, Unix: -5, Kind: flight.KindRound,
+			Outcome: flight.OutcomeDegraded, Status: 503,
+			Route: "/v1/rounds", Method: "POST",
+			Aux: 41, Degraded: true, BytesIn: 1 << 20,
+		},
+		{
+			Seq: 1 << 40, Unix: 1700000002, Kind: flight.KindWAL,
+			Outcome: flight.OutcomeSlow, Route: "store.append",
+			DurationNs: -1, Aux: -7,
+		},
+	}
+}
+
+func TestFlightEventsRoundTrip(t *testing.T) {
+	evs := sampleFlightEvents()
+	enc, err := AppendFlightEvents(nil, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, rest, err := ParseFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after frame", len(rest))
+	}
+	if fr.Type != TypeFlightEvents || fr.Version != Version2 {
+		t.Fatalf("frame header = version %d type %d", fr.Version, fr.Type)
+	}
+	got, err := ParseFlightEvents(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d changed:\n in: %+v\nout: %+v", i, evs[i], got[i])
+		}
+	}
+	// Canonical encoding: decode → encode is bit-identical.
+	again, err := AppendFlightEvents(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, enc) {
+		t.Fatal("re-encoded frame differs from original bytes")
+	}
+}
+
+func TestFlightEventsEmpty(t *testing.T) {
+	enc, err := AppendFlightEvents(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _, err := ParseFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseFlightEvents(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty frame decoded %d events", len(got))
+	}
+}
+
+func TestFlightEventsAppendInto(t *testing.T) {
+	enc, err := AppendFlightEvents(nil, sampleFlightEvents()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _, _ := ParseFrame(enc)
+	pre := []flight.Event{{Seq: 99}}
+	got, err := ParseFlightEventsInto(fr, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Seq != 99 || got[1].Seq != 1 {
+		t.Fatalf("append-into result: %+v", got)
+	}
+}
+
+func TestFlightEventsRejectsOversizedString(t *testing.T) {
+	ev := flight.Event{Route: strings.Repeat("x", maxFlightString+1)}
+	if _, err := AppendFlightEvents(nil, []flight.Event{ev}); err == nil {
+		t.Fatal("oversized route string accepted")
+	}
+}
+
+func TestFlightEventsRejectsMutations(t *testing.T) {
+	enc, err := AppendFlightEvents(nil, sampleFlightEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _, err := ParseFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncated body.
+	short := Frame{Version: fr.Version, Type: fr.Type, Body: fr.Body[:len(fr.Body)-3]}
+	if _, err := ParseFlightEvents(short); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Trailing garbage.
+	long := Frame{Version: fr.Version, Type: fr.Type, Body: append(append([]byte(nil), fr.Body...), 0)}
+	if _, err := ParseFlightEvents(long); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// Unknown flag bit.
+	mut := append([]byte(nil), fr.Body...)
+	mut[4+16+2] |= 0x80 // first event's flags byte
+	bad := Frame{Version: fr.Version, Type: fr.Type, Body: mut}
+	if _, err := ParseFlightEvents(bad); err == nil {
+		t.Fatal("unknown flag bit accepted")
+	}
+	// Wrong type.
+	other := Frame{Version: fr.Version, Type: TypeScoresSnapshot, Body: fr.Body}
+	if _, err := ParseFlightEvents(other); err == nil {
+		t.Fatal("wrong frame type accepted")
+	}
+}
+
+// FuzzFlightEvents: any accepted flight-events frame must survive a
+// decode → encode round trip bit-for-bit (the canonical-encoding contract
+// the debug bundle relies on).
+func FuzzFlightEvents(f *testing.F) {
+	valid, err := AppendFlightEvents(nil, sampleFlightEvents())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedFrame(f, valid)
+	empty, _ := AppendFlightEvents(nil, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, _, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		evs, err := ParseFlightEvents(fr)
+		if err != nil {
+			return
+		}
+		enc, err := AppendFlightEvents(nil, evs)
+		if err != nil {
+			t.Fatalf("re-encode of accepted events rejected: %v", err)
+		}
+		want, _, err := ParseFrame(AppendFrame(nil, fr.Version, fr.Type, fr.Body))
+		if err != nil {
+			t.Fatalf("re-framed original rejected: %v", err)
+		}
+		fr2, _, err := ParseFrame(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !bytes.Equal(fr2.Body, want.Body) {
+			t.Fatal("round trip changed frame body")
+		}
+		evs2, err := ParseFlightEvents(fr2)
+		if err != nil || len(evs2) != len(evs) {
+			t.Fatalf("re-decode failed: %v (%d vs %d events)", err, len(evs2), len(evs))
+		}
+		for i := range evs {
+			if evs[i] != evs2[i] {
+				t.Fatalf("event %d changed in round trip", i)
+			}
+		}
+	})
+}

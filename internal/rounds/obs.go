@@ -31,6 +31,13 @@ type Obs struct {
 	// never scans a clock on its own; the serving layer sets this from
 	// Engine.Staleness at scrape/query time.
 	Staleness *telemetry.Gauge
+	// Score-quality gauges (see quality.go): drift over the trailing
+	// window, and the last scored round's truncation rate, worst sampling
+	// variance, and confidence half-width.
+	ScoreDrift       *telemetry.Gauge
+	TruncationRate   *telemetry.Gauge
+	SamplingVariance *telemetry.Gauge
+	ConfidenceWidth  *telemetry.Gauge
 }
 
 // inertObs is the shared no-op instrument set used when Config.Obs is nil.
@@ -49,5 +56,13 @@ func NewObs(r *telemetry.Registry) *Obs {
 			"one round's incremental score update (skipped rounds included)", nil),
 		Staleness: r.Gauge("ctfl_rounds_score_staleness_seconds",
 			"seconds since the streaming scores last advanced (set at scrape time)"),
+		ScoreDrift: r.Gauge("ctfl_rounds_score_drift",
+			"max-abs per-participant score change over the trailing quality window"),
+		TruncationRate: r.Gauge("ctfl_rounds_truncation_rate",
+			"truncated walks / permutations for the last scored round"),
+		SamplingVariance: r.Gauge("ctfl_rounds_sampling_variance",
+			"worst per-participant sampling variance of the last scored round"),
+		ConfidenceWidth: r.Gauge("ctfl_rounds_confidence_width",
+			"95% confidence half-width of the worst participant's last score delta"),
 	}
 }

@@ -40,6 +40,12 @@ type Outcome struct {
 	// counts permutation walks cut short. Telemetry only — not persisted.
 	Evals     int
 	Truncated int
+	// Permutations is how many permutations the round's sampling drew and
+	// Variance the per-participant sampling variance of the estimates
+	// (aligned with IDs). Telemetry only — not persisted, so replayed
+	// outcomes carry zeros and the quality gauges restart cold.
+	Permutations int
+	Variance     []float64
 
 	basis int
 }

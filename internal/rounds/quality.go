@@ -1,0 +1,115 @@
+package rounds
+
+// Score-quality instruments.
+//
+// Sampled contribution estimates are fragile in two documented ways:
+// "On the Fragility of Contribution Score Computation in FL"
+// (arXiv 2509.19921) shows scores silently drift under perturbation, and
+// FedRandom (arXiv 2602.05693) shows sampling-based estimators carry
+// run-to-run variance that must be surfaced, not hidden. The engine
+// therefore tracks, per applied outcome:
+//
+//   - score drift: the largest per-participant cumulative-score change
+//     over a trailing window of applied outcomes — a converged stream
+//     should see this shrink; a sudden widening means the scores the
+//     server serves are moving under the caller's feet;
+//   - truncation rate: truncated permutation walks / permutations for
+//     the last scored round — how much of the Shapley budget the inner
+//     GTG truncation actually cut;
+//   - sampling variance: the largest per-participant variance of the
+//     per-permutation estimates (valuation.ShapleyConfig.Variance);
+//   - confidence width: the FedRandom-style 95% half-width
+//     1.96·sqrt(variance/permutations) for that worst participant.
+//
+// All of it is process-local telemetry derived from live Compute results:
+// outcome payloads do not persist variance, so after a WAL replay the
+// gauges restart cold (drift rebuilds as new rounds arrive; truncation
+// and variance stay zero until the first live-scored round).
+
+import "math"
+
+// confidenceZ is the two-sided 95% normal quantile used for the
+// confidence half-width.
+const confidenceZ = 1.96
+
+// QualitySnapshot is the JSON shape of the engine's score-quality state
+// (merged into /v1/stats and the debug bundle).
+type QualitySnapshot struct {
+	// Window is the configured drift window; Filled is how many applied
+	// outcomes it currently holds.
+	Window int `json:"window"`
+	Filled int `json:"filled"`
+	// Drift is the max-abs per-participant cumulative-score change across
+	// the window (newest snapshot vs oldest).
+	Drift float64 `json:"drift"`
+	// TruncationRate is truncated walks / permutations for the last
+	// live-scored round.
+	TruncationRate float64 `json:"truncation_rate"`
+	// SamplingVariance is the worst per-participant sampling variance of
+	// the last live-scored round's estimates.
+	SamplingVariance float64 `json:"sampling_variance"`
+	// ConfidenceWidth is the 95% confidence half-width for that worst
+	// participant's score delta.
+	ConfidenceWidth float64 `json:"confidence_width"`
+}
+
+// qualityState is the engine's trailing drift window plus the last scored
+// round's sampling diagnostics. Guarded by Engine.mu.
+type qualityState struct {
+	window [][]float64 // trailing score snapshots, oldest first
+	snap   QualitySnapshot
+}
+
+// updateQualityLocked folds one applied outcome into the quality state
+// and refreshes the gauges. Caller holds e.mu.
+func (e *Engine) updateQualityLocked(out *Outcome) {
+	if e.cfg.QualityWindow < 0 {
+		return
+	}
+	q := &e.quality
+	scores := make([]float64, len(e.scores))
+	copy(scores, e.scores)
+	q.window = append(q.window, scores)
+	if len(q.window) > e.cfg.QualityWindow {
+		q.window = append(q.window[:0], q.window[len(q.window)-e.cfg.QualityWindow:]...)
+	}
+
+	drift := 0.0
+	if len(q.window) >= 2 {
+		oldest := q.window[0]
+		for id, cur := range scores {
+			old := 0.0
+			if id < len(oldest) {
+				old = oldest[id]
+			}
+			if d := abs(cur - old); d > drift {
+				drift = d
+			}
+		}
+	}
+	q.snap.Window = e.cfg.QualityWindow
+	q.snap.Filled = len(q.window)
+	q.snap.Drift = drift
+	if !out.Skipped && out.Permutations > 0 {
+		q.snap.TruncationRate = float64(out.Truncated) / float64(out.Permutations)
+		maxVar := 0.0
+		for _, v := range out.Variance {
+			if v > maxVar {
+				maxVar = v
+			}
+		}
+		q.snap.SamplingVariance = maxVar
+		q.snap.ConfidenceWidth = confidenceZ * math.Sqrt(maxVar/float64(out.Permutations))
+	}
+	e.obs.ScoreDrift.Set(q.snap.Drift)
+	e.obs.TruncationRate.Set(q.snap.TruncationRate)
+	e.obs.SamplingVariance.Set(q.snap.SamplingVariance)
+	e.obs.ConfidenceWidth.Set(q.snap.ConfidenceWidth)
+}
+
+// Quality returns the current score-quality snapshot.
+func (e *Engine) Quality() QualitySnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.quality.snap
+}

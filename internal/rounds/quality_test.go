@@ -1,0 +1,153 @@
+package rounds
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestQualityInstruments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fix := fixture(t)
+	reg := telemetry.NewRegistry()
+	obs := NewObs(reg)
+	e := streamAll(t, fix, Config{
+		Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY,
+		Seed: 9, Permutations: 12, Epsilon: -1, Obs: obs, QualityWindow: 4,
+	})
+
+	q := e.Quality()
+	if q.Window != 4 {
+		t.Fatalf("window = %d, want 4", q.Window)
+	}
+	if q.Filled != 4 {
+		t.Fatalf("filled = %d after 8 rounds with window 4", q.Filled)
+	}
+	if q.Drift <= 0 {
+		t.Fatalf("drift = %v for a still-moving stream", q.Drift)
+	}
+	if q.TruncationRate < 0 || q.TruncationRate > 1 {
+		t.Fatalf("truncation rate = %v", q.TruncationRate)
+	}
+	if q.SamplingVariance < 0 || q.ConfidenceWidth < 0 {
+		t.Fatalf("negative quality values: %+v", q)
+	}
+	// A sampled estimate over a non-trivial game carries real spread.
+	if q.SamplingVariance == 0 || q.ConfidenceWidth == 0 {
+		t.Fatalf("sampling spread reported as exactly zero: %+v", q)
+	}
+
+	snap := reg.Snapshot()
+	for name, want := range map[string]float64{
+		"ctfl_rounds_score_drift":       q.Drift,
+		"ctfl_rounds_truncation_rate":   q.TruncationRate,
+		"ctfl_rounds_sampling_variance": q.SamplingVariance,
+		"ctfl_rounds_confidence_width":  q.ConfidenceWidth,
+	} {
+		got, ok := snap[name].(float64)
+		if !ok || got != want {
+			t.Fatalf("gauge %s = %v, want %v", name, snap[name], want)
+		}
+	}
+}
+
+func TestQualityDriftTracksTrailingWindow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fix := fixture(t)
+	e, err := New(Config{
+		Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY,
+		Seed: 9, Permutations: 8, Epsilon: -1, QualityWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev []float64
+	pushed := 0
+	for round, ups := range fix.sim.Updates {
+		if len(ups) == 0 {
+			continue
+		}
+		before := e.Snapshot().Scores
+		pushRound(t, e, round, toParts(ups))
+		pushed++
+		if pushed < 2 {
+			prev = before
+			continue
+		}
+		// Window 2: drift compares the current scores against the previous
+		// applied snapshot.
+		cur := e.Snapshot().Scores
+		want := 0.0
+		for id, c := range cur {
+			old := 0.0
+			if id < len(before) {
+				old = before[id]
+			}
+			if d := abs(c - old); d > want {
+				want = d
+			}
+		}
+		if got := e.Quality().Drift; got != want {
+			t.Fatalf("round %d drift = %v, want %v", round, got, want)
+		}
+		prev = before
+	}
+	_ = prev
+	if pushed < 3 {
+		t.Fatalf("fixture pushed only %d rounds", pushed)
+	}
+}
+
+func TestQualityDisabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fix := fixture(t)
+	e := streamAll(t, fix, Config{
+		Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY,
+		Seed: 9, Permutations: 8, Epsilon: -1, QualityWindow: -1,
+	})
+	if q := e.Quality(); q != (QualitySnapshot{}) {
+		t.Fatalf("disabled quality tracked state: %+v", q)
+	}
+}
+
+// TestQualityReplayRestartsCold pins the documented restart semantics:
+// replayed payloads rebuild scores (so drift resumes) but carry no
+// sampling diagnostics, which stay zero until the next live-scored round.
+func TestQualityReplayRestartsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fix := fixture(t)
+	live := streamAll(t, fix, Config{
+		Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY,
+		Seed: 9, Permutations: 8, Epsilon: -1, QualityWindow: 4,
+	})
+	if live.Quality().SamplingVariance == 0 {
+		t.Fatal("live engine has no sampling diagnostics to contrast with")
+	}
+	replayed, err := New(Config{
+		Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY,
+		Seed: 9, Permutations: 8, Epsilon: -1, QualityWindow: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range live.Payloads() {
+		if err := replayed.ApplyPayload(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := replayed.Quality()
+	if q.Filled != 4 || q.Drift != live.Quality().Drift {
+		t.Fatalf("replayed drift diverged: %+v vs %+v", q, live.Quality())
+	}
+	if q.SamplingVariance != 0 || q.TruncationRate != 0 || q.ConfidenceWidth != 0 {
+		t.Fatalf("replayed engine claims sampling diagnostics it never computed: %+v", q)
+	}
+}

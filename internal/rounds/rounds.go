@@ -84,6 +84,10 @@ type Config struct {
 	Workers int
 	// Obs receives engine telemetry; nil disables all of it.
 	Obs *Obs
+	// QualityWindow is the trailing number of applied outcomes score drift
+	// is measured over (see quality.go). 0 means 16; negative disables the
+	// quality instruments.
+	QualityWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +96,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InnerEpsilon == 0 {
 		c.InnerEpsilon = c.Epsilon
+	}
+	if c.QualityWindow == 0 {
+		c.QualityWindow = 16
 	}
 	return c
 }
@@ -106,14 +113,15 @@ type Engine struct {
 	obs          *Obs
 
 	mu       sync.Mutex
-	rounds   int  // high-water: last applied round + 1
-	skipped  int  // rounds skipped by between-round truncation
-	applied  int  // outcomes applied (distinguishes "no rounds yet" from gaps)
+	rounds   int // high-water: last applied round + 1
+	skipped  int // rounds skipped by between-round truncation
+	applied  int // outcomes applied (distinguishes "no rounds yet" from gaps)
 	prevFull float64
 	scores   []float64 // cumulative contribution, indexed by participant id
 	payloads [][]byte  // applied outcome payloads, in order (compaction input)
 	updated  chan struct{}
 	lastTick time.Time
+	quality  qualityState
 
 	evals      atomic.Int64
 	truncWalks atomic.Int64
@@ -266,6 +274,8 @@ func (e *Engine) Compute(u protocol.RoundUpdate) (*Outcome, error) {
 	}
 
 	var trunc atomic.Int64
+	var variance []float64
+	var nperm int
 	phi, err := valuation.SampledShapley(u.Count, oracle.Utility, valuation.ShapleyConfig{
 		Permutations:  e.cfg.Permutations,
 		TruncationEps: max(e.cfg.InnerEpsilon, 0),
@@ -273,6 +283,8 @@ func (e *Engine) Compute(u protocol.RoundUpdate) (*Outcome, error) {
 		Workers:       e.cfg.Workers,
 		Warm:          oracle.EvalBatch,
 		Truncated:     &trunc,
+		Variance:      &variance,
+		PermCount:     &nperm,
 	})
 	if err != nil {
 		return nil, err
@@ -284,6 +296,8 @@ func (e *Engine) Compute(u protocol.RoundUpdate) (*Outcome, error) {
 	}
 	out.Evals = oracle.Evals()
 	out.Truncated = int(trunc.Load())
+	out.Permutations = nperm
+	out.Variance = variance
 	e.evals.Add(int64(out.Evals))
 	e.truncWalks.Add(trunc.Load())
 	e.obs.UpdateSeconds.ObserveSince(start)
@@ -346,6 +360,7 @@ func (e *Engine) applyLocked(out *Outcome, payload []byte) {
 	e.obs.Ingested.Inc()
 	e.obs.Evals.Add(int64(out.Evals))
 	e.obs.InnerTruncations.Add(int64(out.Truncated))
+	e.updateQualityLocked(out)
 	close(e.updated)
 	e.updated = make(chan struct{})
 }

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -9,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/jobs"
+	"repro/internal/protocol"
 	"repro/internal/store"
 )
 
@@ -177,5 +182,118 @@ func TestChaosSoak(t *testing.T) {
 		if v, _ := snap["ctfl_jobs_quarantined_total"].(int64); v < 1 {
 			t.Errorf("injector panicked %d jobs but quarantined_total = %v", js.Panics, v)
 		}
+	}
+
+	// The flight recorder kept evidence of every server-side incident class
+	// the injector produced (FaultRequest is client-side — excluded).
+	tail := chaosSrv.flightRec.Snapshot(flight.Filter{})
+	var walErrs int
+	var reqFaults int32
+	var jobEvidence bool
+	for _, ev := range tail {
+		switch ev.Kind {
+		case flight.KindWAL:
+			if ev.Outcome == flight.OutcomeError {
+				walErrs++
+			}
+		case flight.KindRequest:
+			reqFaults += ev.Faults
+		case flight.KindJob:
+			if ev.Retries > 0 || ev.Err != "" || ev.Aux == 1 {
+				jobEvidence = true
+			}
+		}
+	}
+	appendErrs := int(in.SiteStats(store.FaultAppend).Errors)
+	if walErrs < appendErrs {
+		t.Errorf("flight tail retained %d WAL error events, injector fired %d append faults", walErrs, appendErrs)
+	}
+	handlerErrs := int32(in.SiteStats(FaultHandler).Errors)
+	if reqFaults < handlerErrs {
+		t.Errorf("request events carry %d fault annotations, injector fired %d handler faults", reqFaults, handlerErrs)
+	}
+	if in.SiteStats(jobs.FaultRun).Fired() > 0 && !jobEvidence {
+		t.Error("job faults fired but no KindJob event shows retries, an error, or quarantine")
+	}
+
+	// With DegradedThreshold 1 every WAL failure ticked the SLO engine;
+	// repeated failures must have burned the wal_availability budget at
+	// least once, and the final probe-verified recovery reset the breach.
+	if v, _ := snap[`ctfl_slo_breaches_total{slo="wal_availability"}`].(int64); v < 1 {
+		t.Errorf("wal_availability never breached under chaos (breaches = %v)", v)
+	}
+	if v, _ := snap[`ctfl_slo_breach{slo="wal_availability"}`].(float64); v != 0 {
+		t.Errorf("wal_availability still in breach at soak end (gauge = %v)", v)
+	}
+
+	// The incident survives export: the binary /v1/events snapshot decodes
+	// and re-encodes bit-identically, as does the debug bundle's capture.
+	req, _ := http.NewRequest(http.MethodGet, chaosTS.URL+"/v1/events?kind=wal", nil)
+	req.Header.Set("Accept", protocol.ContentTypeFrame)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/events?kind=wal: status %d err %v", resp.StatusCode, err)
+	}
+	f, _, err := protocol.ParseFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := protocol.ParseFlightEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < appendErrs {
+		t.Errorf("binary WAL snapshot has %d events, want >= %d", len(evs), appendErrs)
+	}
+	again, err := protocol.AppendFlightEvents(nil, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Error("chaos events frame decode → re-encode is not bit-identical")
+	}
+
+	bresp, err := http.Get(chaosTS.URL + "/v1/debug/bundle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bundle DebugBundle
+	err = json.NewDecoder(bresp.Body).Decode(&bundle)
+	bresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Events) == 0 {
+		t.Fatal("chaos debug bundle captured no events")
+	}
+	bevs := make([]flight.Event, len(bundle.Events))
+	for i, ej := range bundle.Events {
+		if bevs[i], err = ej.event(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bframe, err := protocol.AppendFlightEvents(nil, bevs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _, err := protocol.ParseFrame(bframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdec, err := protocol.ParseFlightEvents(bf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bagain, err := protocol.AppendFlightEvents(nil, bdec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bframe, bagain) {
+		t.Error("chaos bundle events do not round-trip bit-identically through the type-7 codec")
 	}
 }

@@ -65,7 +65,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	ct, err := requireContentType(r, protocol.ContentTypeFrame, "application/json")

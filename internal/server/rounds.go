@@ -29,9 +29,11 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/flight"
 	"repro/internal/protocol"
 	"repro/internal/rounds"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // RoundResponse answers POST /v1/rounds for one ingested round-update.
@@ -106,7 +108,7 @@ func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	ct, err := requireContentType(r, "text/csv", protocol.ContentTypeFrame, "application/octet-stream")
@@ -203,6 +205,23 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Each ingest attempt is one KindRound flight event: which round, how
+	// long the scoring took, and — when it failed — which stage broke.
+	t0 := time.Now()
+	roundEvent := func(outcome flight.Outcome, round int, errMsg string) {
+		s.flightRec.Record(flight.Event{
+			Kind:       flight.KindRound,
+			Outcome:    outcome,
+			Route:      "rounds.ingest",
+			RequestID:  telemetry.RequestIDFrom(r.Context()),
+			DurationNs: time.Since(t0).Nanoseconds(),
+			BytesIn:    int64(len(body)),
+			Aux:        int64(round),
+			Degraded:   s.degradedGauge.Value() != 0,
+			Err:        errMsg,
+		})
+	}
+
 	// Serialize the whole ingest: exactly one round moves from compute to
 	// commit at a time, so Compute's basis always matches at Apply.
 	s.roundsMu.Lock()
@@ -213,6 +232,7 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, rounds.ErrStaleRound) {
 			code = http.StatusConflict
 		}
+		roundEvent(flight.OutcomeError, u.Round, "compute: "+err.Error())
 		httpError(w, code, err)
 		return
 	}
@@ -220,18 +240,22 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.st.version != version || s.st.rounds != eng {
+		roundEvent(flight.OutcomeRejected, out.Round, "federation state changed during round ingest")
 		httpError(w, http.StatusConflict, errors.New("federation state changed during round ingest; resubmit"))
 		return
 	}
 	if err := s.persistLocked(store.Event{Type: store.EventRound, Payload: out.Payload()}); err != nil {
+		roundEvent(flight.OutcomeError, out.Round, "persist: "+err.Error())
 		s.unavailable(w, err)
 		return
 	}
 	if err := eng.Apply(out); err != nil {
+		roundEvent(flight.OutcomeError, out.Round, "apply: "+err.Error())
 		httpError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.maybeCompactLocked()
+	roundEvent(flight.OutcomeOK, out.Round, "")
 	writeJSON(w, http.StatusOK, RoundResponse{
 		Round:         out.Round,
 		Skipped:       out.Skipped,

@@ -13,6 +13,9 @@
 //	GET  /v1/trace/{id}    poll a trace job's status / result
 //	GET  /v1/rules         the extracted rule set (interpretability)
 //	GET  /v1/stats         observability counters (requests, jobs, store)
+//	GET  /v1/events        flight-recorder wide events (JSON or binary v2)
+//	GET  /v1/debug/bundle  one-shot incident capture (state+SLO+events+traces)
+//	GET  /v1/version       build identity (module, VCS revision)
 //	GET  /healthz          liveness
 //
 // Raw training features never cross this API: participants send only
@@ -62,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/flight"
 	"repro/internal/jobs"
 	"repro/internal/nn"
 	"repro/internal/protocol"
@@ -143,6 +147,25 @@ type Options struct {
 	// RoundWorkers bounds concurrent coalition evaluations per round
 	// (0 = GOMAXPROCS). Scores are bit-identical at any value.
 	RoundWorkers int
+
+	// FlightSize bounds the flight recorder's routine ring (default 1024
+	// events); FlightTailSize bounds the pinned tail of interesting events
+	// (default 256). The recorder is always on.
+	FlightSize     int
+	FlightTailSize int
+	// SLOInterval is the background SLO evaluation cadence (default 5s;
+	// negative disables the ticker — WAL traffic still ticks
+	// synchronously, which is what deterministic tests rely on).
+	SLOInterval time.Duration
+	// SLOLatencyBound is the per-route latency objective's threshold in
+	// seconds (default 0.25): a request slower than this burns budget.
+	SLOLatencyBound float64
+	// SLOStalenessBound is the score_staleness objective's threshold in
+	// seconds (default 300).
+	SLOStalenessBound float64
+	// SLOIngestBound is the rounds_ingest_lag objective's threshold in
+	// seconds (default 1): a round update slower than this burns budget.
+	SLOIngestBound float64
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +204,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.FlightSize <= 0 {
+		o.FlightSize = 1024
+	}
+	if o.FlightTailSize <= 0 {
+		o.FlightTailSize = 256
+	}
+	if o.SLOInterval == 0 {
+		o.SLOInterval = 5 * time.Second
+	}
+	if o.SLOLatencyBound <= 0 {
+		o.SLOLatencyBound = 0.25
+	}
+	if o.SLOStalenessBound <= 0 {
+		o.SLOStalenessBound = 300
+	}
+	if o.SLOIngestBound <= 0 {
+		o.SLOIngestBound = 1
 	}
 	return o
 }
@@ -227,6 +268,14 @@ type Server struct {
 	walFails  int
 	degraded  bool
 	lastProbe time.Time
+	// degradedBySLO marks a degradation tripped by wal_availability SLO
+	// burn (as opposed to the consecutive-failure threshold): only those
+	// episodes clear on burn decay; threshold trips demand a probe append
+	// as positive proof. Guarded by mu (write).
+	degradedBySLO bool
+	// lastSLOTick rate-limits the synchronous evaluator ticks successful
+	// WAL appends trigger (see sloSyncFloor). Guarded by mu (write).
+	lastSLOTick time.Time
 
 	mux      *http.ServeMux
 	requests *expvar.Map // per-route request counters (legacy /v1/stats shape)
@@ -245,6 +294,20 @@ type Server struct {
 
 	degradedGauge   *telemetry.Gauge
 	degradedEntered *telemetry.Counter
+
+	// Flight recorder + SLO engine + process runtime stats (the PR-8
+	// observability tier). flightRec is always on; slo couples
+	// wal_availability burn into the degraded-mode controller above.
+	flightRec        *flight.Recorder
+	slo              *telemetry.SLOEvaluator
+	runtime          *telemetry.RuntimeStats
+	httpResponses    *telemetry.Counter // all responses, SLO availability total
+	httpServerErrors *telemetry.Counter // 5xx responses, SLO availability bad
+	walAttempts      *telemetry.Counter // WAL append attempts (incl. probes)
+	walFailures      *telemetry.Counter // failed WAL appends
+	degradedSLOTrips *telemetry.Counter // degradations tripped by SLO burn
+	sloStop          chan struct{}
+	sloDone          chan struct{}
 
 	// Predict serving-path instruments (the route middleware already times
 	// every request; these isolate the inference endpoint specifically).
@@ -297,6 +360,27 @@ func NewWithOptions(opts Options) (*Server, error) {
 	// The server never trains, but registering the family keeps the full
 	// metric catalog visible to scrapes from process start.
 	_ = nn.TrainTelemetry(s.reg)
+
+	// Observability tier: always-on flight recorder, process runtime
+	// stats, and the SLO burn-rate engine. Registered before the routes so
+	// the middleware can attach per-route latency objectives.
+	s.flightRec = flight.New(flight.Config{
+		Size:     opts.FlightSize,
+		TailSize: opts.FlightTailSize,
+		Obs:      flight.NewObs(s.reg),
+	})
+	s.runtime = telemetry.NewRuntimeStats(s.reg, s.started)
+	s.httpResponses = s.reg.Counter("ctfl_http_responses_total", "HTTP responses served, any status")
+	s.httpServerErrors = s.reg.Counter("ctfl_http_response_errors_total", "HTTP 5xx responses served")
+	s.walAttempts = s.reg.Counter("ctfl_wal_attempts_total", "WAL append attempts, including recovery probes")
+	s.walFailures = s.reg.Counter("ctfl_wal_failures_total", "failed WAL appends")
+	s.degradedSLOTrips = s.reg.Counter("ctfl_server_degraded_slo_trips_total",
+		"degradations tripped by wal_availability SLO burn (vs the consecutive-failure threshold)")
+	s.spans.SetEvictionCounter(s.reg.Counter("ctfl_spans_children_evicted_total",
+		"span children dropped by the per-span cap"))
+	s.slo = telemetry.NewSLOEvaluator(s.reg)
+	s.registerSLOs()
+
 	s.engine = jobs.New(jobs.Config{
 		Workers:    opts.Workers,
 		QueueDepth: opts.QueueDepth,
@@ -304,6 +388,29 @@ func NewWithOptions(opts Options) (*Server, error) {
 		Retry:      opts.JobRetry,
 		Faults:     opts.Faults,
 		Obs:        jobs.NewObs(s.reg),
+		OnFinish: func(v jobs.View) {
+			ev := flight.Event{
+				Kind:      flight.KindJob,
+				Route:     "job.trace",
+				RequestID: v.ID,
+				CacheHit:  v.CacheHit,
+				Degraded:  s.degradedGauge.Value() != 0,
+			}
+			if v.Attempts > 1 {
+				ev.Retries = int32(v.Attempts - 1)
+			}
+			if !v.Started.IsZero() && !v.Finished.IsZero() {
+				ev.DurationNs = v.Finished.Sub(v.Started).Nanoseconds()
+			}
+			if v.Quarantined {
+				ev.Aux = 1
+			}
+			if v.Err != nil {
+				ev.Outcome = flight.OutcomeError
+				ev.Err = v.Err.Error()
+			}
+			s.flightRec.Record(ev)
+		},
 	})
 
 	if opts.DataDir != "" {
@@ -338,7 +445,18 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.route("/v1/rules", s.handleRules)
 	s.route("/v1/stats", s.handleStats)
 	s.route("/v1/traces/recent", s.handleTracesRecent)
+	s.route("/v1/events", s.handleEvents)
+	s.route("/v1/debug/bundle", s.handleDebugBundle)
+	s.route("/v1/version", s.handleVersion)
 	s.route("/metrics", s.handleMetrics)
+
+	s.sloStop = make(chan struct{})
+	s.sloDone = make(chan struct{})
+	if opts.SLOInterval > 0 {
+		go s.sloLoop(opts.SLOInterval)
+	} else {
+		close(s.sloDone)
+	}
 	return s, nil
 }
 
@@ -356,6 +474,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // snapshot, and releases the store. Safe to call more than once.
 func (s *Server) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
+		close(s.sloStop)
+		<-s.sloDone
 		drainErr := s.engine.Close(ctx)
 		var storeErr error
 		if s.store != nil {
@@ -512,19 +632,31 @@ func (s *Server) persistLocked(evs ...store.Event) error {
 			return errDegraded
 		}
 	}
+	s.walAttempts.Inc()
 	if err := s.store.AppendBatch(evs); err != nil {
 		s.walFails++
+		s.walFailures.Inc()
+		s.recordWALEvent(flight.OutcomeError, "store.append", err.Error(), int64(s.walFails))
 		if !s.degraded && s.walFails >= s.opts.DegradedThreshold {
 			s.degraded = true
 			s.lastProbe = time.Now()
 			s.degradedEntered.Inc()
 			s.degradedGauge.Set(1)
+			s.recordWALEvent(flight.OutcomeDegraded, "server.degraded",
+				"entered: consecutive WAL append failures", int64(s.walFails))
 			s.log.Warn("entering degraded mode: WAL appends failing persistently",
 				"consecutive_failures", s.walFails, "err", err)
 		}
+		// Failures re-evaluate the SLOs immediately (never rate-limited):
+		// wal_availability burn must trip degraded mode during the
+		// incident, not a tick later.
+		s.sloTickLocked(time.Now())
 		return err
 	}
 	s.walFails = 0
+	if now := time.Now(); now.Sub(s.lastSLOTick) >= sloSyncFloor {
+		s.sloTickLocked(now)
+	}
 	return nil
 }
 
@@ -536,12 +668,23 @@ func (s *Server) probeLocked() bool {
 		return false
 	}
 	s.lastProbe = time.Now()
+	s.walAttempts.Inc()
 	if err := s.store.Append(store.Event{Type: store.EventNop}); err != nil {
+		s.walFailures.Inc()
+		s.recordWALEvent(flight.OutcomeError, "store.probe", err.Error(), int64(s.walFails))
+		s.sloTickLocked(time.Now())
 		return false
 	}
 	s.degraded = false
+	s.degradedBySLO = false
 	s.walFails = 0
 	s.degradedGauge.Set(0)
+	// The probe positively proved the WAL healthy; the objective's retained
+	// bad samples predate that proof, so keeping them would re-trip a
+	// breach the probe just disproved.
+	s.slo.Reset(sloWAL)
+	s.recordWALEvent(flight.OutcomeDegraded, "server.degraded",
+		"cleared: WAL append probe succeeded", 0)
 	s.log.Info("degraded mode cleared: WAL append probe succeeded")
 	return true
 }
@@ -567,9 +710,13 @@ func (s *Server) unavailable(w http.ResponseWriter, err error) {
 }
 
 // injectFault fires the server.handler site; when it injects, the request
-// is rejected with 503 + Retry-After before it has any effect.
-func (s *Server) injectFault(w http.ResponseWriter) bool {
+// is rejected with 503 + Retry-After before it has any effect, and the
+// fault is annotated onto the request's flight event.
+func (s *Server) injectFault(w http.ResponseWriter, r *http.Request) bool {
 	if err := s.opts.Faults.Err(FaultHandler); err != nil {
+		if ex := extrasFrom(r.Context()); ex != nil {
+			ex.faults++
+		}
 		s.unavailable(w, err)
 		return true
 	}
@@ -645,7 +792,7 @@ func (s *Server) handleEncoder(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	raw, err := s.readBody(w, r)
@@ -674,7 +821,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	if _, err := requireContentType(r, "application/octet-stream"); err != nil {
@@ -716,7 +863,7 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	if _, err := requireContentType(r, "application/octet-stream", protocol.ContentTypeFrame); err != nil {
@@ -824,7 +971,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	tau, err := queryFloat(r, "tau", 0.9)
@@ -932,8 +1079,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		// Timed out waiting: fall through to the async 202 answer.
 	}
+	jv := job.Snapshot()
+	if ex := extrasFrom(r.Context()); ex != nil && jv.CacheHit {
+		ex.cacheHit = true
+	}
 	w.Header().Set("Location", "/v1/trace/"+job.ID())
-	writeJSON(w, http.StatusAccepted, jobResponse(job.Snapshot()))
+	writeJSON(w, http.StatusAccepted, jobResponse(jv))
 }
 
 // acceptsFrame reports whether the request negotiated the binary v2
@@ -948,6 +1099,9 @@ func acceptsFrame(r *http.Request) bool {
 // instead of the JSON envelope; every other lifecycle state stays JSON, so
 // pollers always see the envelope until there is a result to stream.
 func (s *Server) writeJob(w http.ResponseWriter, r *http.Request, v jobs.View) {
+	if ex := extrasFrom(r.Context()); ex != nil && v.CacheHit {
+		ex.cacheHit = true
+	}
 	code := http.StatusAccepted
 	switch v.Status {
 	case jobs.StatusDone:
@@ -970,7 +1124,7 @@ func (s *Server) handleTraceJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
 		return
 	}
-	if s.injectFault(w) {
+	if s.injectFault(w, r) {
 		return
 	}
 	job, ok := s.engine.Get(r.PathValue("id"))
@@ -1045,6 +1199,13 @@ type StatsResponse struct {
 	Telemetry map[string]any `json:"telemetry,omitempty"`
 	// Traces counts root spans recorded so far (see /v1/traces/recent).
 	Traces int64 `json:"traces"`
+	// SLO is every declared objective's live burn-rate status.
+	SLO []telemetry.SLOStatus `json:"slo,omitempty"`
+	// Flight is the flight recorder's retention accounting.
+	Flight flight.Stats `json:"flight"`
+	// Quality is the streaming score-quality snapshot, when a round-stream
+	// engine is live.
+	Quality *rounds.QualitySnapshot `json:"quality,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1061,10 +1222,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"participants": s.st.parts,
 		"degraded":     s.degraded,
 	}
-	if s.st.rounds != nil {
-		st["rounds"] = s.st.rounds.Rounds()
+	eng := s.st.rounds
+	if eng != nil {
+		st["rounds"] = eng.Rounds()
 	}
 	s.mu.RUnlock()
+	s.runtime.Collect()
 	resp := StatsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      json.RawMessage(s.requests.String()),
@@ -1072,6 +1235,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		State:         st,
 		Telemetry:     s.reg.Snapshot(),
 		Traces:        s.spans.Total(),
+		SLO:           s.slo.Snapshot(),
+		Flight:        s.flightRec.Stats(),
+	}
+	if eng != nil {
+		q := eng.Quality()
+		resp.Quality = &q
 	}
 	if s.store != nil {
 		m := s.store.Metrics()

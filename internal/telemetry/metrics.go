@@ -135,6 +135,27 @@ func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0).Seconds())
 }
 
+// CountOver reports the histogram's total observation count and how many
+// observations landed in buckets whose upper bound exceeds bound. This is
+// the cumulative feed for latency SLOs: pick bound on a bucket boundary
+// and "over" counts every observation that may have exceeded it.
+func (h *Histogram) CountOver(bound float64) (total, over int64) {
+	if h == nil {
+		return 0, 0
+	}
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		total += c
+		if b > bound {
+			over += c
+		}
+	}
+	c := h.counts[len(h.bounds)].Load() // +Inf bucket
+	total += c
+	over += c
+	return total, over
+}
+
 // HistogramSnapshot is a point-in-time histogram summary. Quantiles are
 // estimated by linear interpolation within the containing bucket.
 type HistogramSnapshot struct {
@@ -348,7 +369,9 @@ func labelSuffix(labels string) string {
 	return "{" + labels + "}"
 }
 
-func formatBound(b float64) string { return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".") }
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}
 
 // Snapshot returns a JSON-friendly view of every instrument, keyed by the
 // full registered name: counters and gauges as numbers, histograms as

@@ -1,0 +1,218 @@
+package telemetry
+
+// Satellite coverage for ISSUE 8: SpanLog ring wraparound under
+// concurrent writers, the per-span child cap, histogram quantile edge
+// cases, CountOver, and the process runtime gauges.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLogWraparoundConcurrent(t *testing.T) {
+	const cap, writers, perWriter = 16, 8, 200
+	l := NewSpanLog(cap)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctx := WithSpanLog(context.Background(), l)
+				ctx, root := StartSpan(ctx, fmt.Sprintf("root-%d-%d", w, i))
+				_, child := StartSpan(ctx, "child")
+				child.End()
+				root.End()
+			}
+		}(w)
+	}
+	// Readers race the writers across many wraparounds.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			for _, v := range l.Recent(0) {
+				if v.Name == "" {
+					t.Error("empty span name in recent trace")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := l.Total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	recent := l.Recent(0)
+	if len(recent) != cap {
+		t.Fatalf("retained %d roots after wraparound, want %d", len(recent), cap)
+	}
+	if got := l.Recent(5); len(got) != 5 {
+		t.Fatalf("Recent(5) returned %d", len(got))
+	}
+}
+
+func TestSpanChildCapEvictsOldest(t *testing.T) {
+	l := NewSpanLog(4)
+	l.SetMaxChildren(3)
+	evicted := &Counter{}
+	l.SetEvictionCounter(evicted)
+
+	ctx := WithSpanLog(context.Background(), l)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < 10; i++ {
+		_, c := StartSpan(ctx, fmt.Sprintf("child-%d", i))
+		c.End()
+	}
+	root.End()
+
+	views := l.Recent(1)
+	if len(views) != 1 {
+		t.Fatalf("recent = %d roots", len(views))
+	}
+	v := views[0]
+	if len(v.Children) != 3 {
+		t.Fatalf("retained %d children, want 3", len(v.Children))
+	}
+	// Ring semantics: the newest children survive.
+	for i, c := range v.Children {
+		if want := fmt.Sprintf("child-%d", 7+i); c.Name != want {
+			t.Fatalf("child %d = %s, want %s", i, c.Name, want)
+		}
+	}
+	if v.DroppedChildren != 7 {
+		t.Fatalf("dropped_children = %d, want 7", v.DroppedChildren)
+	}
+	if evicted.Value() != 7 {
+		t.Fatalf("eviction counter = %d, want 7", evicted.Value())
+	}
+}
+
+func TestSpanChildCapAppliesToNestedSpans(t *testing.T) {
+	l := NewSpanLog(2)
+	l.SetMaxChildren(2)
+	ctx := WithSpanLog(context.Background(), l)
+	ctx, root := StartSpan(ctx, "root")
+	mid, midSpan := StartSpan(ctx, "mid")
+	for i := 0; i < 5; i++ {
+		_, c := StartSpan(mid, fmt.Sprintf("leaf-%d", i))
+		c.End()
+	}
+	midSpan.End()
+	root.End()
+	v := l.Recent(1)[0]
+	if len(v.Children) != 1 || v.Children[0].Name != "mid" {
+		t.Fatalf("root children = %+v", v.Children)
+	}
+	if got := v.Children[0]; len(got.Children) != 2 || got.DroppedChildren != 3 {
+		t.Fatalf("nested cap not applied: %d children, %d dropped", len(got.Children), got.DroppedChildren)
+	}
+}
+
+func TestSpanChildCapDefault(t *testing.T) {
+	l := NewSpanLog(1)
+	ctx := WithSpanLog(context.Background(), l)
+	ctx, root := StartSpan(ctx, "root")
+	for i := 0; i < DefaultMaxChildren+10; i++ {
+		_, c := StartSpan(ctx, "child")
+		c.End()
+	}
+	root.End()
+	v := l.Recent(1)[0]
+	if len(v.Children) != DefaultMaxChildren || v.DroppedChildren != 10 {
+		t.Fatalf("default cap: %d children, %d dropped", len(v.Children), v.DroppedChildren)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(nil)
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+	var nilH *Histogram
+	if s := nilH.Snapshot(); s != (HistogramSnapshot{}) {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // everything lands in the (1, 2] bucket
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	for _, q := range []float64{s.P50, s.P95, s.P99} {
+		if q < 1 || q > 2 {
+			t.Fatalf("quantile %v escaped the single occupied bucket (1, 2]", q)
+		}
+	}
+	if s.P50 >= s.P95 || s.P95 >= s.P99 {
+		t.Fatalf("quantiles not increasing within bucket: %v %v %v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // +Inf bucket
+	}
+	s := h.Snapshot()
+	// The +Inf bucket has no upper bound to interpolate toward; the
+	// snapshot reports the last finite bound rather than inventing one.
+	if s.P50 != 2 || s.P99 != 2 {
+		t.Fatalf("overflow-bucket quantiles = %+v, want last finite bound 2", s)
+	}
+	if math.IsInf(s.P99, 0) || math.IsNaN(s.P99) {
+		t.Fatalf("overflow quantile not finite: %v", s.P99)
+	}
+}
+
+func TestHistogramCountOver(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.25, 0.5})
+	h.Observe(0.05) // (−∞, 0.1]
+	h.Observe(0.2)  // (0.1, 0.25]
+	h.Observe(0.3)  // (0.25, 0.5]
+	h.Observe(0.3)  // (0.25, 0.5]
+	h.Observe(99)   // +Inf
+	total, over := h.CountOver(0.25)
+	if total != 5 || over != 3 {
+		t.Fatalf("CountOver(0.25) = (%d, %d), want (5, 3)", total, over)
+	}
+	if total, over = h.CountOver(0.5); total != 5 || over != 1 {
+		t.Fatalf("CountOver(0.5) = (%d, %d), want (5, 1)", total, over)
+	}
+	var nilH *Histogram
+	if total, over = nilH.CountOver(1); total != 0 || over != 0 {
+		t.Fatal("nil CountOver not zero")
+	}
+}
+
+func TestRuntimeStatsCollect(t *testing.T) {
+	reg := NewRegistry()
+	rs := NewRuntimeStats(reg, time.Now().Add(-3*time.Second))
+	rs.Collect()
+	snap := reg.Snapshot()
+	if g, _ := snap["ctfl_process_goroutines"].(float64); g < 1 {
+		t.Fatalf("goroutines gauge = %v", g)
+	}
+	if h, _ := snap["ctfl_process_heap_alloc_bytes"].(float64); h <= 0 {
+		t.Fatalf("heap gauge = %v", h)
+	}
+	if u, _ := snap["ctfl_process_uptime_seconds"].(float64); u < 2.5 {
+		t.Fatalf("uptime gauge = %v", u)
+	}
+	if _, ok := snap["ctfl_process_open_fds"]; !ok {
+		t.Fatal("open fds gauge missing")
+	}
+	var nilRS *RuntimeStats
+	nilRS.Collect()
+}

@@ -16,12 +16,14 @@ type Span struct {
 	name  string
 	start time.Time
 	log   *SpanLog // root spans only: where the finished tree is published
+	lim   *SpanLog // every span: ring policy (child cap, eviction counter)
 
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	dropped  int // children evicted once the per-span cap was hit
 }
 
 // Attr is one span attribute.
@@ -58,11 +60,31 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	}
 	s := &Span{name: name, start: time.Now(), log: log}
 	if parent != nil {
-		parent.mu.Lock()
-		parent.children = append(parent.children, s)
-		parent.mu.Unlock()
+		s.lim = parent.lim
+		parent.addChild(s)
+	} else {
+		s.lim = log
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// addChild attaches c, enforcing the per-span child cap: once a span
+// holds maxChildren children the oldest is evicted ring-style, keeping
+// the most recent activity (the part an operator debugging a stuck
+// request wants) while bounding a long-lived root's memory.
+func (s *Span) addChild(c *Span) {
+	max := s.lim.maxChildrenCap()
+	s.mu.Lock()
+	if len(s.children) >= max {
+		copy(s.children, s.children[1:])
+		s.children[len(s.children)-1] = c
+		s.dropped++
+		s.mu.Unlock()
+		s.lim.countEviction()
+		return
+	}
+	s.children = append(s.children, c)
+	s.mu.Unlock()
 }
 
 // SetAttr records a key/value attribute on the span.
@@ -95,12 +117,15 @@ func (s *Span) End() {
 }
 
 // SpanView is the JSON shape of one span in a recorded trace tree.
+// DroppedChildren counts children evicted by the per-span ring cap; when
+// it is non-zero, Children holds only the newest ones.
 type SpanView struct {
-	Name       string         `json:"name"`
-	Start      time.Time      `json:"start"`
-	DurationMS float64        `json:"duration_ms"`
-	Attrs      map[string]any `json:"attrs,omitempty"`
-	Children   []SpanView     `json:"children,omitempty"`
+	Name            string         `json:"name"`
+	Start           time.Time      `json:"start"`
+	DurationMS      float64        `json:"duration_ms"`
+	Attrs           map[string]any `json:"attrs,omitempty"`
+	Children        []SpanView     `json:"children,omitempty"`
+	DroppedChildren int            `json:"dropped_children,omitempty"`
 }
 
 // view snapshots the span subtree. Children that are still running (an
@@ -119,6 +144,7 @@ func (s *Span) view() SpanView {
 			v.Attrs[a.Key] = a.Value
 		}
 	}
+	v.DroppedChildren = s.dropped
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
 	for _, c := range children {
@@ -127,12 +153,21 @@ func (s *Span) view() SpanView {
 	return v
 }
 
-// SpanLog is a bounded ring buffer of recently finished root spans.
+// DefaultMaxChildren is the per-span child cap applied by SpanLog unless
+// overridden with SetMaxChildren.
+const DefaultMaxChildren = 128
+
+// SpanLog is a bounded ring buffer of recently finished root spans. It
+// also carries the ring policy every span under it inherits: a per-span
+// child cap (the same bounded-ring discipline as the root buffer) and an
+// optional eviction counter.
 type SpanLog struct {
-	mu    sync.Mutex
-	buf   []*Span
-	next  int
-	total int64
+	mu          sync.Mutex
+	buf         []*Span
+	next        int
+	total       int64
+	maxChildren int
+	evicted     *Counter
 }
 
 // NewSpanLog returns a ring buffer holding the most recent capacity root
@@ -141,7 +176,48 @@ func NewSpanLog(capacity int) *SpanLog {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &SpanLog{buf: make([]*Span, capacity)}
+	return &SpanLog{buf: make([]*Span, capacity), maxChildren: DefaultMaxChildren}
+}
+
+// SetMaxChildren overrides the per-span child cap (n <= 0 restores the
+// default).
+func (l *SpanLog) SetMaxChildren(n int) {
+	if n <= 0 {
+		n = DefaultMaxChildren
+	}
+	l.mu.Lock()
+	l.maxChildren = n
+	l.mu.Unlock()
+}
+
+// SetEvictionCounter wires a counter incremented once per evicted child
+// span.
+func (l *SpanLog) SetEvictionCounter(c *Counter) {
+	l.mu.Lock()
+	l.evicted = c
+	l.mu.Unlock()
+}
+
+func (l *SpanLog) maxChildrenCap() int {
+	if l == nil {
+		return DefaultMaxChildren
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.maxChildren <= 0 {
+		return DefaultMaxChildren
+	}
+	return l.maxChildren
+}
+
+func (l *SpanLog) countEviction() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	c := l.evicted
+	l.mu.Unlock()
+	c.Inc()
 }
 
 func (l *SpanLog) add(s *Span) {

@@ -136,6 +136,17 @@ type ShapleyConfig struct {
 	// participant are not counted). The streaming engine surfaces this as
 	// its within-round truncation telemetry.
 	Truncated *atomic.Int64
+	// Variance, when non-nil, receives the per-participant sample variance
+	// of the per-permutation marginal estimates (length n). This is the
+	// run-to-run uncertainty FedRandom (arXiv 2602.05693) argues sampled
+	// estimators must surface: the estimate is a mean over Permutations
+	// draws, so its standard error is sqrt(variance/Permutations).
+	// Truncated walks contribute zero marginals, exactly as they do to the
+	// estimate itself. Telemetry only — it never feeds back into scores.
+	Variance *[]float64
+	// PermCount, when non-nil, receives the number of permutations actually
+	// sampled (after the zero-value default is resolved).
+	PermCount *int
 }
 
 // SampledShapley estimates the Shapley value by Monte-Carlo permutation
@@ -254,6 +265,39 @@ func SampledShapley(n int, v Utility, cfg ShapleyConfig) ([]float64, error) {
 	}
 	for i := range out {
 		out[i] /= float64(nperm)
+	}
+	if cfg.PermCount != nil {
+		*cfg.PermCount = nperm
+	}
+	if cfg.Variance != nil {
+		// Sample variance of the per-permutation estimates, accumulated in
+		// permutation order so it is as deterministic as the estimate: a
+		// participant a truncated walk never reached contributed a zero
+		// marginal to that permutation.
+		vr := make([]float64, n)
+		row := make([]float64, n)
+		for p := 0; p < nperm; p++ {
+			for i := range row {
+				row[i] = 0
+			}
+			for _, s := range walks[p] {
+				row[s.idx] = s.delta
+			}
+			for i := range row {
+				d := row[i] - out[i]
+				vr[i] += d * d
+			}
+		}
+		if nperm > 1 {
+			for i := range vr {
+				vr[i] /= float64(nperm - 1)
+			}
+		} else {
+			for i := range vr {
+				vr[i] = 0
+			}
+		}
+		*cfg.Variance = vr
 	}
 	return out, nil
 }

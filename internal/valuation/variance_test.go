@@ -1,0 +1,121 @@
+package valuation
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// TestSampledShapleyVarianceAdditiveGame: in an additive game every
+// participant's marginal is the same in every permutation, so the
+// sampling variance is exactly zero.
+func TestSampledShapleyVarianceAdditiveGame(t *testing.T) {
+	n := 4
+	weights := []float64{1, 2, 3, 4}
+	v := func(mask uint64) (float64, error) {
+		var s float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s += weights[i]
+			}
+		}
+		return s, nil
+	}
+	var vr []float64
+	var nperm int
+	phi, err := SampledShapley(n, v, ShapleyConfig{
+		Permutations: 16,
+		Rand:         rand.New(rand.NewSource(1)),
+		Variance:     &vr,
+		PermCount:    &nperm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nperm != 16 {
+		t.Fatalf("PermCount = %d, want 16", nperm)
+	}
+	if len(vr) != n {
+		t.Fatalf("variance length = %d", len(vr))
+	}
+	for i := range vr {
+		if vr[i] != 0 {
+			t.Fatalf("additive game variance[%d] = %v, want 0", i, vr[i])
+		}
+		if math.Abs(phi[i]-weights[i]) > 1e-12 {
+			t.Fatalf("phi[%d] = %v, want %v", i, phi[i], weights[i])
+		}
+	}
+}
+
+// TestSampledShapleyVarianceSuperadditive: when marginals depend on join
+// position, the per-permutation estimates spread and the variance must be
+// positive — and deterministic for a fixed seed.
+func TestSampledShapleyVarianceSuperadditive(t *testing.T) {
+	n := 4
+	v := func(mask uint64) (float64, error) {
+		s := float64(bits.OnesCount64(mask))
+		return s * s, nil
+	}
+	run := func() ([]float64, []float64) {
+		var vr []float64
+		phi, err := SampledShapley(n, v, ShapleyConfig{
+			Permutations: 12,
+			Rand:         rand.New(rand.NewSource(7)),
+			Variance:     &vr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return phi, vr
+	}
+	phi, vr := run()
+	anyPositive := false
+	for _, x := range vr {
+		if x < 0 {
+			t.Fatalf("negative variance: %v", vr)
+		}
+		if x > 0 {
+			anyPositive = true
+		}
+	}
+	if !anyPositive {
+		t.Fatalf("position-dependent game produced zero variance: %v", vr)
+	}
+	phi2, vr2 := run()
+	for i := range vr {
+		if math.Float64bits(vr[i]) != math.Float64bits(vr2[i]) ||
+			math.Float64bits(phi[i]) != math.Float64bits(phi2[i]) {
+			t.Fatal("variance output not deterministic for a fixed seed")
+		}
+	}
+}
+
+// TestSampledShapleyVarianceDoesNotPerturbEstimate: requesting variance
+// must leave the estimate bit-identical to a run without it.
+func TestSampledShapleyVarianceDoesNotPerturbEstimate(t *testing.T) {
+	n := 5
+	v := func(mask uint64) (float64, error) {
+		s := float64(bits.OnesCount64(mask))
+		return s * math.Sqrt(s+1), nil
+	}
+	base, err := SampledShapley(n, v, ShapleyConfig{
+		Permutations: 10, Rand: rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vr []float64
+	withVar, err := SampledShapley(n, v, ShapleyConfig{
+		Permutations: 10, Rand: rand.New(rand.NewSource(3)), Variance: &vr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if math.Float64bits(base[i]) != math.Float64bits(withVar[i]) {
+			t.Fatalf("variance request changed estimate at %d", i)
+		}
+	}
+}

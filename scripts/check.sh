@@ -25,8 +25,8 @@ go build ./...
 echo "== go test -race (hot paths: nn, core, bitset, protocol)"
 go test -race ./internal/nn/... ./internal/core/... ./internal/bitset/... ./internal/protocol/...
 
-echo "== go test -race (service layer: store, jobs, server, telemetry)"
-go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/...
+echo "== go test -race (service layer: store, jobs, server, telemetry, flight)"
+go test -race ./internal/store/... ./internal/jobs/... ./internal/server/... ./internal/telemetry/... ./internal/flight/...
 
 echo "== go test -race (valuation engine + round stream + FL trainer, parallel paths exercised)"
 go test -race ./internal/valuation/... ./internal/rounds/... ./internal/fl/...
@@ -45,8 +45,11 @@ go test -run=TestValidateUploadFrameZeroAlloc -count=1 -v ./internal/protocol/ |
 go test -run=TestValidateRoundUpdateFrameZeroAlloc -count=1 -v ./internal/protocol/ | grep -E 'PASS|FAIL|allocates'
 go test -run=TestBinarizedScoreBatchZeroAlloc -count=1 -v ./internal/nn/ | grep -E 'PASS|FAIL|allocates'
 
+echo "== zero-alloc pin (flight recorder steady state)"
+go test -run=TestRecordSteadyStateZeroAlloc -count=1 -v ./internal/flight/ | grep -E 'PASS|FAIL|allocates'
+
 echo "== fuzz smoke (wire-protocol decoders, 3s each)"
-for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult FuzzRoundUpdate FuzzScoresSnapshot; do
+for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult FuzzRoundUpdate FuzzScoresSnapshot FuzzFlightEvents; do
     go test -run=NONE -fuzz="^${tgt}\$" -fuzztime=3s ./internal/protocol/ | tail -1
 done
 
@@ -59,6 +62,8 @@ go test -run=NONE -bench='BenchmarkTraceResult|BenchmarkUploadIngest' -benchtime
     ./internal/protocol/
 go test -run=NONE -bench='BenchmarkRoundIngest|BenchmarkIncrementalScores' -benchtime=1x \
     ./internal/rounds/
+go test -run=NONE -bench='BenchmarkFlightRecord' -benchtime=1x \
+    ./internal/flight/
 
 echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
 tmpbin="$(mktemp -d)"

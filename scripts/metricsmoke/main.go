@@ -41,6 +41,16 @@ var requiredFamilies = []string{
 	"ctfl_rounds_ingested_total",
 	"ctfl_rounds_skipped_total",
 	"ctfl_rounds_score_staleness_seconds",
+	"ctfl_rounds_score_drift",
+	"ctfl_rounds_sampling_variance",
+	"ctfl_slo_burn_rate",
+	"ctfl_slo_breach",
+	"ctfl_flight_events_total",
+	"ctfl_flight_pinned_total",
+	"ctfl_process_goroutines",
+	"ctfl_process_uptime_seconds",
+	"ctfl_wal_attempts_total",
+	"ctfl_http_errors_total",
 }
 
 func main() {
@@ -91,6 +101,22 @@ func main() {
 		fatalf("metricsmoke: /v1/traces/recent recorded no request spans: %s", traces)
 	}
 	fmt.Println("metricsmoke: /v1/traces/recent records request spans")
+
+	events := get(base + "/v1/events")
+	if !strings.Contains(events, `"route":"/healthz"`) {
+		fatalf("metricsmoke: /v1/events recorded no request events: %s", events)
+	}
+	fmt.Println("metricsmoke: /v1/events records flight events")
+
+	version := get(base + "/v1/version")
+	if !strings.Contains(version, `"go_version"`) {
+		fatalf("metricsmoke: /v1/version lacks build identity: %s", version)
+	}
+	bundle := get(base + "/v1/debug/bundle")
+	if !strings.Contains(bundle, `"slo"`) || !strings.Contains(bundle, `"events"`) {
+		fatalf("metricsmoke: /v1/debug/bundle incomplete")
+	}
+	fmt.Println("metricsmoke: /v1/version and /v1/debug/bundle answer")
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		fatalf("metricsmoke: signalling server: %v", err)
