@@ -1,0 +1,720 @@
+// Command ctflload is the cluster load generator: it spawns N ctflsrv
+// node child processes (durable, fsync-per-append WAL — the production
+// posture), shards a set of federations across them with the same
+// consistent-hash ring the server uses, and drives sustained concurrent
+// traffic through the ring-aware server.Client: upload ingest,
+// round-update pushes, binary predict batches, and score polls.
+//
+// Each experiment reports per-route throughput and latency quantiles
+// (p50/p95/p99); passing several node counts (-nodes 1,3) runs one
+// experiment per count over identical traffic and reports the aggregate
+// write throughput (uploads + rounds) speedup of the largest cluster over
+// the single node. On a one-core host the speedup comes from overlapping
+// the per-append WAL fsync across node WALs: a single node serializes
+// handler CPU behind its fsync, while N nodes keep the CPU busy during
+// each other's disk waits.
+//
+// Usage:
+//
+//	ctflload [-nodes 1,3] [-duration 5s] [-warmup 500ms]
+//	         [-uploaders 6] [-rounders 2] [-predicters 2] [-scorers 1]
+//	         [-upload-records 8] [-eval-rows 64] [-round-perms 4]
+//	         [-no-sync] [-seed 23] [-note s] [-out BENCH_9.json]
+//
+// Output is a BENCH_*.json-shaped document: generated/go_version/
+// gomaxprocs/num_cpu/note plus one "runs" entry per node count and the
+// computed "write_speedup_vs_single".
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/fedsim"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/protocol"
+	"repro/internal/rules"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// fixture is the shared workload: one trained tic-tac-toe federation's
+// publishable artifacts plus the pre-sliced traffic payloads every
+// experiment replays identically.
+type fixture struct {
+	encoder  *dataset.Encoder
+	model    *nn.Model
+	evalCSV  []byte                        // small eval subset for the rounds engine
+	uploads  [][]byte                      // pre-encoded upload frames, cycled by upload workers
+	rounds   [][]protocol.RoundParticipant // fedsim round updates, cycled with fresh round numbers
+	predRows []float32                     // one 32-row binary predict batch
+	width    int                           // encoded feature width
+}
+
+func buildFixture(seed int64, uploadRecords, evalRows int) (*fixture, error) {
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(seed)
+	train, test := tab.Split(r, 0.25)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		return nil, err
+	}
+	perm := r.Perm(train.Len())
+	fracs := []float64{0.30, 0.25, 0.20, 0.15, 0.10}
+	parts := make([]*fl.Participant, len(fracs))
+	at := 0
+	for i, f := range fracs {
+		n := int(f * float64(train.Len()))
+		if i == len(fracs)-1 {
+			n = train.Len() - at
+		}
+		parts[i] = &fl.Participant{ID: i, Name: string(rune('A' + i)), Data: train.Subset(perm[at : at+n])}
+		at += n
+	}
+	model := nn.Config{Hidden: []int{16}, Seed: 7, BatchSize: 128}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 1, LocalEpochs: 3, Parallel: true, Model: model, Seed: seed,
+	})
+	trained, err := trainer.Train(parts)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := fedsim.Run(enc, parts, test, fedsim.Config{
+		Rounds: 4, LocalEpochs: 2, Model: model, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fx := &fixture{encoder: enc, model: trained, width: enc.Width()}
+
+	// Small eval subset: keeps each round-update Compute cheap so the
+	// write mix is fsync-bound (the thing the cluster overlaps), not
+	// valuation-bound.
+	if evalRows > test.Len() {
+		evalRows = test.Len()
+	}
+	idx := make([]int, evalRows)
+	for i := range idx {
+		idx[i] = i
+	}
+	var csv bytes.Buffer
+	if err := dataset.WriteCSV(&csv, test.Subset(idx)); err != nil {
+		return nil, err
+	}
+	fx.evalCSV = csv.Bytes()
+
+	// Slice each participant's activations into small upload frames so a
+	// sustained run appends thousands of frames without ballooning the WAL.
+	rs := rules.Extract(trained, enc)
+	for pi, p := range parts {
+		acts, _ := rs.ActivationsTable(p.Data)
+		for at := 0; at < len(acts); at += uploadRecords {
+			end := min(at+uploadRecords, len(acts))
+			up := &protocol.Upload{Participant: pi, RuleWidth: rs.Width()}
+			for i := at; i < end; i++ {
+				up.Records = append(up.Records, protocol.Record{
+					Label:       p.Data.Instances[i].Label,
+					Activations: acts[i],
+				})
+			}
+			var buf bytes.Buffer
+			if err := up.Write(&buf); err != nil {
+				return nil, err
+			}
+			fx.uploads = append(fx.uploads, buf.Bytes())
+		}
+	}
+
+	for _, ups := range sim.Updates {
+		rps := make([]protocol.RoundParticipant, len(ups))
+		for i, u := range ups {
+			rps[i] = protocol.RoundParticipant{ID: u.Participant, Weight: u.Weight, Params: u.Params}
+		}
+		fx.rounds = append(fx.rounds, rps)
+	}
+
+	const batch = 32
+	for i := 0; i < batch; i++ {
+		x := enc.Encode(tab.Instances[i], nil)
+		for _, v := range x {
+			fx.predRows = append(fx.predRows, float32(v))
+		}
+	}
+	return fx, nil
+}
+
+// routeStats accumulates latency samples for one traffic class.
+type routeStats struct {
+	mu      sync.Mutex
+	route   string
+	samples []float64 // seconds
+	errors  int64
+}
+
+func (rs *routeStats) observe(d time.Duration, err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if err != nil {
+		rs.errors++
+		return
+	}
+	rs.samples = append(rs.samples, d.Seconds())
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	return sorted[max(0, min(i, len(sorted)-1))]
+}
+
+// RouteReport is one traffic class's measured outcome.
+type RouteReport struct {
+	Route  string  `json:"route"`
+	Ops    int64   `json:"ops"`
+	Errors int64   `json:"errors"`
+	RPS    float64 `json:"rps"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+func (rs *routeStats) report(window time.Duration) RouteReport {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	sorted := append([]float64(nil), rs.samples...)
+	sort.Float64s(sorted)
+	return RouteReport{
+		Route:  rs.route,
+		Ops:    int64(len(sorted)),
+		Errors: rs.errors,
+		RPS:    float64(len(sorted)) / window.Seconds(),
+		P50Ms:  quantile(sorted, 0.50) * 1e3,
+		P95Ms:  quantile(sorted, 0.95) * 1e3,
+		P99Ms:  quantile(sorted, 0.99) * 1e3,
+	}
+}
+
+// RunReport is one experiment: a node count and its per-route results.
+type RunReport struct {
+	Nodes      int           `json:"nodes"`
+	Feds       int           `json:"feds"`
+	DurationS  float64       `json:"duration_s"`
+	Sync       bool          `json:"sync_wal"`
+	Replicated bool          `json:"replicated"`
+	Routes     []RouteReport `json:"routes"`
+	WriteRPS   float64       `json:"aggregate_write_rps"` // uploads + rounds
+	WriteP99Ms float64       `json:"write_p99_ms"`        // worst write-route p99
+}
+
+type loadConfig struct {
+	duration, warmup time.Duration
+	uploaders        int
+	rounders         int
+	predicters       int
+	scorers          int
+	roundPerms       int
+	noSync           bool
+	replicate        bool
+	seed             int64
+}
+
+// node is one spawned ctflsrv child process. Nodes run as separate
+// processes, not goroutines: a WAL fsync is a blocking syscall that stalls
+// a GOMAXPROCS=1 runtime until sysmon retakes the P, so in-process nodes
+// could never overlap their disk waits — the very effect the cluster
+// exists to exploit. Separate processes let the kernel hand the core to
+// another node (or the load workers) for the duration of every fsync,
+// which is also the shape of a real multi-node deployment.
+type node struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// runNode is the hidden child mode: one ctflsrv node on a fixed address,
+// killed by the parent when the experiment ends.
+func runNode(addr, dataDir, self, peers, replica, leader string, roundPerms int, noSync bool) {
+	opts := server.Options{
+		DataDir:           dataDir,
+		NoSync:            noSync,
+		CompactBytes:      1 << 30, // no mid-run compaction churn
+		Logger:            slog.New(slog.DiscardHandler),
+		SLOInterval:       -1, // also disables follower failover burn: no mid-run promotions
+		RoundPermutations: roundPerms,
+		RoundSeed:         1,
+		RoundWorkers:      1,
+		ReplicaURL:        replica,
+		LeaderURL:         leader,
+	}
+	if peers != "" {
+		opts.ClusterSelf = self
+		opts.ClusterPeers = strings.Split(peers, ",")
+	}
+	svc, err := server.NewWithOptions(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctflload node: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctflload node: listen %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	// Children expose pprof so a profiler can attach to any node mid-run
+	// (the parent's -cpuprofile only covers the client side).
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+	mux.Handle("/", svc)
+	srv := &http.Server{Handler: mux}
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "ctflload node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// reservePorts grabs k distinct loopback ports and releases them for the
+// children to bind: peer and replica URLs must be final before any node
+// starts.
+func reservePorts(k int) ([]string, []string, error) {
+	addrs := make([]string, k)
+	urls := make([]string, k)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+	return addrs, urls, nil
+}
+
+// startNodes launches the ring: n shard leaders, plus one synchronous
+// follower per leader when cfg.replicate is set (the production posture —
+// every write is pushed to the follower before the leader acknowledges).
+// The returned URL list covers only the leaders; followers are internal.
+func startNodes(dir string, n int, cfg loadConfig) ([]*node, []string, error) {
+	addrs, urls, err := reservePorts(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fAddrs, fURLs []string
+	if cfg.replicate {
+		if fAddrs, fURLs, err = reservePorts(n); err != nil {
+			return nil, nil, err
+		}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	start := func(nodes []*node, args []string, url string) ([]*node, error) {
+		cmd := exec.Command(exe, args...)
+		// On a one-core host every GC cycle in a node steals CPU from the
+		// write path of all N processes; relax the pacer so short
+		// experiments spend the core on requests, not collections.
+		cmd.Env = append(os.Environ(), "GOGC=600")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			stopNodes(nodes)
+			return nil, err
+		}
+		return append(nodes, &node{cmd: cmd, url: url}), nil
+	}
+	var nodes []*node
+	for i := 0; i < n; i++ {
+		if cfg.replicate {
+			// Follower first: the leader pushes to it on the first write.
+			fargs := []string{
+				"-node-addr", fAddrs[i],
+				"-node-data-dir", filepath.Join(dir, fmt.Sprintf("follower%d", i)),
+				"-node-leader", urls[i],
+				"-round-perms", strconv.Itoa(cfg.roundPerms),
+			}
+			if cfg.noSync {
+				fargs = append(fargs, "-no-sync")
+			}
+			if nodes, err = start(nodes, fargs, fURLs[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		args := []string{
+			"-node-addr", addrs[i],
+			"-node-data-dir", filepath.Join(dir, fmt.Sprintf("node%d", i)),
+			"-round-perms", strconv.Itoa(cfg.roundPerms),
+		}
+		if cfg.replicate {
+			args = append(args, "-node-replica", fURLs[i])
+		}
+		if n > 1 {
+			args = append(args, "-node-self", urls[i], "-node-peers", strings.Join(urls, ","))
+		}
+		if cfg.noSync {
+			args = append(args, "-no-sync")
+		}
+		if nodes, err = start(nodes, args, urls[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Readiness: every node (followers included) must answer /healthz
+	// before traffic starts.
+	deadline := time.Now().Add(15 * time.Second)
+	for _, nd := range nodes {
+		for {
+			resp, err := http.Get(nd.url + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				stopNodes(nodes)
+				return nil, nil, fmt.Errorf("node %s not ready after 15s", nd.url)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nodes, urls, nil
+}
+
+func stopNodes(nodes []*node) {
+	for _, nd := range nodes {
+		if nd == nil || nd.cmd.Process == nil {
+			continue
+		}
+		nd.cmd.Process.Kill()
+		nd.cmd.Wait()
+	}
+}
+
+func runExperiment(fx *fixture, n int, cfg loadConfig) (*RunReport, error) {
+	dir, err := os.MkdirTemp("", "ctflload")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	nodes, urls, err := startNodes(dir, n, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer stopNodes(nodes)
+
+	// Publish the federation on every leader: each node is one shard's
+	// replica of the lifecycle artifacts, traffic is what gets sharded.
+	// Followers fence writes; they pick the artifacts up via replication.
+	ctx := context.Background()
+	for _, u := range urls {
+		cl := &server.Client{BaseURL: u}
+		if err := cl.PublishEncoder(ctx, fx.encoder); err != nil {
+			return nil, fmt.Errorf("publish encoder: %w", err)
+		}
+		if err := cl.PublishModel(ctx, fx.model); err != nil {
+			return nil, fmt.Errorf("publish model: %w", err)
+		}
+		resp, err := http.Post(u+"/v1/rounds", "text/csv", bytes.NewReader(fx.evalCSV))
+		if err != nil {
+			return nil, err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("round eval registration: status %d", resp.StatusCode)
+		}
+	}
+
+	// Federations, placed by the same ring the servers use. Candidate ids
+	// are drawn until every node owns one, then one fed per node is kept:
+	// worker w drives feds[w%n], so load is even across the ring no matter
+	// how the hash happens to spread a small id set.
+	feds := make([]string, 0, n)
+	owner := map[string]string{}
+	if n > 1 {
+		ring, err := cluster.New(urls, cluster.Config{})
+		if err != nil {
+			return nil, err
+		}
+		covered := map[string]string{} // node URL -> one fed it owns
+		for i := 0; len(covered) < n && i < 10_000; i++ {
+			f := fmt.Sprintf("fed-%03d", i)
+			if u := ring.Lookup(f); covered[u] == "" {
+				covered[u] = f
+			}
+		}
+		if len(covered) < n {
+			return nil, fmt.Errorf("ring never placed a federation on %d of %d nodes", n-len(covered), n)
+		}
+		for _, u := range urls {
+			feds = append(feds, covered[u])
+			owner[covered[u]] = u
+		}
+	} else {
+		feds = append(feds, "fed-000")
+		owner["fed-000"] = urls[0]
+	}
+	// One shared transport with enough idle capacity that every worker
+	// keeps its connection alive: the default per-host idle cap of 2 makes
+	// a many-worker closed loop redial constantly, and on one core the
+	// dial syscalls drown the servers.
+	httpc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	clientFor := func(i int) (*server.Client, string) {
+		fed := feds[i%len(feds)]
+		cl := &server.Client{BaseURL: urls[i%len(urls)], Fed: fed,
+			HTTPClient: httpc,
+			Retry:      &server.ClientRetryPolicy{MaxAttempts: 3}}
+		if n > 1 {
+			cl.Shards = urls
+		}
+		return cl, fed
+	}
+
+	upStats := &routeStats{route: "/v1/uploads"}
+	rdStats := &routeStats{route: "/v1/rounds"}
+	prStats := &routeStats{route: "/v1/predict"}
+	scStats := &routeStats{route: "/v1/scores"}
+
+	deadline := time.Now().Add(cfg.warmup + cfg.duration)
+	measureFrom := time.Now().Add(cfg.warmup)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	worker := func(st *routeStats, op func(c *server.Client, i int) error, cl *server.Client) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			t0 := time.Now()
+			err := op(cl, i)
+			if runCtx.Err() != nil {
+				return // deadline, not a request failure
+			}
+			if t0.After(measureFrom) {
+				st.observe(time.Since(t0), err)
+			}
+		}
+	}
+
+	// Worker counts are per node: offered load scales with the cluster, so
+	// the single-node baseline and the ring see the same per-node queue
+	// depth (and therefore comparable tail latency).
+	for w := 0; w < cfg.uploaders*n; w++ {
+		wg.Add(1)
+		off := w * 17
+		cl, _ := clientFor(w)
+		go worker(upStats, func(c *server.Client, i int) error {
+			return c.UploadFrames(runCtx, fx.uploads[(off+i)%len(fx.uploads)])
+		}, cl)
+	}
+	// Round numbers must rise monotonically per node; one counter and one
+	// in-flight push per owner keeps concurrent rounders from racing their
+	// commits out of order.
+	type nodeRounds struct {
+		mu   sync.Mutex
+		next int64
+	}
+	perNode := map[string]*nodeRounds{}
+	for _, u := range urls {
+		perNode[u] = &nodeRounds{}
+	}
+	for w := 0; w < cfg.rounders*n; w++ {
+		wg.Add(1)
+		cl, fed := clientFor(w)
+		nr := perNode[owner[fed]]
+		go worker(rdStats, func(c *server.Client, i int) error {
+			nr.mu.Lock()
+			defer nr.mu.Unlock()
+			round := int(atomic.AddInt64(&nr.next, 1))
+			_, err := c.PushRound(runCtx, round, fx.rounds[round%len(fx.rounds)])
+			return err
+		}, cl)
+	}
+	for w := 0; w < cfg.predicters*n; w++ {
+		wg.Add(1)
+		cl, _ := clientFor(w)
+		go worker(prStats, func(c *server.Client, i int) error {
+			_, err := c.Predict(runCtx, fx.width, fx.predRows)
+			return err
+		}, cl)
+	}
+	for w := 0; w < cfg.scorers*n; w++ {
+		wg.Add(1)
+		cl, _ := clientFor(w)
+		go worker(scStats, func(c *server.Client, i int) error {
+			_, err := c.Scores(runCtx, 0, 0)
+			return err
+		}, cl)
+	}
+	wg.Wait()
+
+	rep := &RunReport{
+		Nodes: n, Feds: len(feds), DurationS: cfg.duration.Seconds(), Sync: !cfg.noSync,
+		Replicated: cfg.replicate,
+	}
+	for _, st := range []*routeStats{upStats, rdStats, prStats, scStats} {
+		rep.Routes = append(rep.Routes, st.report(cfg.duration))
+	}
+	up, rd := rep.Routes[0], rep.Routes[1]
+	rep.WriteRPS = up.RPS + rd.RPS
+	rep.WriteP99Ms = max(up.P99Ms, rd.P99Ms)
+	return rep, nil
+}
+
+// Report is the whole document ctflload emits.
+type Report struct {
+	Generated            string      `json:"generated"`
+	GoVersion            string      `json:"go_version"`
+	GoMaxProcs           int         `json:"gomaxprocs"`
+	NumCPU               int         `json:"num_cpu"`
+	Note                 string      `json:"note"`
+	Runs                 []RunReport `json:"runs"`
+	WriteSpeedupVsSingle float64     `json:"write_speedup_vs_single,omitempty"`
+}
+
+func main() {
+	nodesFlag := flag.String("nodes", "1,3", "comma-separated node counts; one experiment per entry")
+	duration := flag.Duration("duration", 5*time.Second, "measured load window per experiment")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "untimed ramp before measurement starts")
+	uploaders := flag.Int("uploaders", 6, "concurrent upload-ingest workers")
+	rounders := flag.Int("rounders", 2, "concurrent round-push workers")
+	predicters := flag.Int("predicters", 2, "concurrent binary-predict workers")
+	scorers := flag.Int("scorers", 1, "concurrent score-poll workers")
+	uploadRecords := flag.Int("upload-records", 8, "records per upload frame")
+	evalRows := flag.Int("eval-rows", 64, "evaluation rows for the rounds engine")
+	roundPerms := flag.Int("round-perms", 4, "permutation samples per streamed round")
+	noSync := flag.Bool("no-sync", false, "skip per-append WAL fsync (drops the durability the experiment is about)")
+	replicate := flag.Bool("replicate", false, "pair every shard leader with a synchronous follower (production posture)")
+	seed := flag.Int64("seed", 23, "fixture RNG seed")
+	note := flag.String("note", "", "free-form note recorded in the output")
+	out := flag.String("out", "", "output file (empty = stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering every experiment")
+	// Hidden child mode: the parent re-execs itself once per node so every
+	// node owns its runtime (see the node type for why).
+	nodeAddr := flag.String("node-addr", "", "internal: run as one cluster node on this address")
+	nodeDataDir := flag.String("node-data-dir", "", "internal: node persistence directory")
+	nodeSelf := flag.String("node-self", "", "internal: node base URL in the ring")
+	nodePeers := flag.String("node-peers", "", "internal: comma-separated ring member URLs")
+	nodeReplica := flag.String("node-replica", "", "internal: follower URL this leader replicates to")
+	nodeLeader := flag.String("node-leader", "", "internal: leader URL this follower node follows")
+	flag.Parse()
+
+	if *nodeAddr != "" {
+		runNode(*nodeAddr, *nodeDataDir, *nodeSelf, *nodePeers, *nodeReplica, *nodeLeader, *roundPerms, *noSync)
+		return
+	}
+
+	var counts []int
+	for _, s := range strings.Split(*nodesFlag, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "ctflload: bad -nodes entry %q\n", s)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		fmt.Fprintln(os.Stderr, "ctflload: -nodes is empty")
+		os.Exit(2)
+	}
+
+	cfg := loadConfig{
+		duration: *duration, warmup: *warmup,
+		uploaders: *uploaders, rounders: *rounders,
+		predicters: *predicters, scorers: *scorers,
+		roundPerms: *roundPerms, noSync: *noSync, replicate: *replicate, seed: *seed,
+	}
+
+	// The parent's client workers share the single core with every node;
+	// match the nodes' relaxed GC pacer so collections don't distort the
+	// measured window (see startNodes).
+	debug.SetGCPercent(600)
+
+	fmt.Fprintln(os.Stderr, "ctflload: building fixture...")
+	fx, err := buildFixture(cfg.seed, *uploadRecords, *evalRows)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctflload: fixture: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note:       *note,
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctflload: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	var single, best *RunReport
+	for _, n := range counts {
+		fmt.Fprintf(os.Stderr, "ctflload: %d node(s), %s + %s warmup...\n", n, *duration, *warmup)
+		r, err := runExperiment(fx, n, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctflload: run nodes=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		rep.Runs = append(rep.Runs, *r)
+		fmt.Fprintf(os.Stderr, "ctflload: nodes=%d write rps=%.0f write p99=%.2fms\n",
+			n, r.WriteRPS, r.WriteP99Ms)
+		if n == 1 {
+			single = r
+		}
+		if best == nil || r.WriteRPS > best.WriteRPS {
+			best = r
+		}
+	}
+	if single != nil && best != nil && best.Nodes > 1 && single.WriteRPS > 0 {
+		rep.WriteSpeedupVsSingle = best.WriteRPS / single.WriteRPS
+		fmt.Fprintf(os.Stderr, "ctflload: %d-node aggregate write speedup vs single: %.2fx\n",
+			best.Nodes, rep.WriteSpeedupVsSingle)
+	}
+
+	enc, _ := json.MarshalIndent(rep, "", "  ")
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "ctflload: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}

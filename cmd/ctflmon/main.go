@@ -8,6 +8,10 @@
 //
 //	ctflmon [-addr http://localhost:8080] [-interval 2s] [-n 10] [-once]
 //
+// -addr accepts a comma-separated list of nodes; with more than one the
+// monitor switches to the ring view — a node roster plus a RED table with
+// one rate column per node — so a single instance watches a whole cluster.
+//
 // It needs only the server's public surface: GET /metrics (Prometheus
 // text) and GET /v1/events (JSON). -once prints a single frame and exits
 // (scriptable capture); otherwise the screen redraws every -interval.
@@ -17,17 +21,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 )
 
+// scraper is one frame source: the single-node monitor or the ring view.
+type scraper interface {
+	scrape(now time.Time) (string, error)
+}
+
 func main() {
-	addr := flag.String("addr", "http://localhost:8080", "ctflsrv base URL")
+	addr := flag.String("addr", "http://localhost:8080", "ctflsrv base URL(s), comma-separated for a ring")
 	interval := flag.Duration("interval", 2*time.Second, "refresh interval")
 	tailN := flag.Int("n", 10, "recent flight events to display")
 	once := flag.Bool("once", false, "print one frame and exit")
 	flag.Parse()
 
-	m := newMonitor(*addr, *tailN)
+	var addrs []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "ctflmon: -addr is empty")
+		os.Exit(2)
+	}
+	var m scraper = newMonitor(addrs[0], *tailN)
+	if len(addrs) > 1 {
+		m = newMultiMonitor(addrs, *tailN)
+	}
 	for {
 		frame, err := m.scrape(time.Now())
 		if err != nil {

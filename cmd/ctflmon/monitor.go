@@ -298,20 +298,35 @@ func (m *monitor) get(path string) (*http.Response, error) {
 	return resp, nil
 }
 
+// scrapeSample pulls one /metrics snapshot; shared by the single-node and
+// multi-node frames.
+func (m *monitor) scrapeSample(now time.Time) (*sample, error) {
+	resp, err := m.get("/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return &sample{at: now, values: parseMetrics(resp.Body)}, nil
+}
+
+// scrapeEvents pulls the flight recorder tail (n newest events plus stats).
+func (m *monitor) scrapeEvents(n int) (eventsPayload, error) {
+	var events eventsPayload
+	resp, err := m.get(fmt.Sprintf("/v1/events?n=%d", n))
+	if err != nil {
+		return events, err
+	}
+	defer resp.Body.Close()
+	return events, json.NewDecoder(resp.Body).Decode(&events)
+}
+
 // scrape pulls /metrics and /v1/events and renders one frame.
 func (m *monitor) scrape(now time.Time) (string, error) {
-	resp, err := m.get("/metrics")
+	cur, err := m.scrapeSample(now)
 	if err != nil {
 		return "", err
 	}
-	cur := &sample{at: now, values: parseMetrics(resp.Body)}
-	resp.Body.Close()
-
-	var events eventsPayload
-	if resp, err = m.get(fmt.Sprintf("/v1/events?n=%d", m.tailN)); err == nil {
-		err = json.NewDecoder(resp.Body).Decode(&events)
-		resp.Body.Close()
-	}
+	events, err := m.scrapeEvents(m.tailN)
 	if err != nil {
 		return "", err
 	}

@@ -128,3 +128,56 @@ func TestMonitorFrameAgainstLiveServer(t *testing.T) {
 		t.Error("first frame empty")
 	}
 }
+
+// TestMultiMonitorRingFrame drives the ring view against two live nodes
+// plus one dead target: the frame must carry a rate column per node, the
+// union of their routes, and a DOWN marker for the unreachable address —
+// without the dead node failing the whole frame.
+func TestMultiMonitorRingFrame(t *testing.T) {
+	urls := make([]string, 2)
+	for i := range urls {
+		s := server.New()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := s.Close(ctx); err != nil {
+				t.Errorf("server close: %v", err)
+			}
+		}()
+		ts := httptest.NewServer(s)
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	// Distinct traffic per node so the route union matters: node 0 serves
+	// /healthz, node 1 serves /v1/rules.
+	for i, path := range []string{"/healthz", "/v1/rules"} {
+		resp, err := http.Get(urls[i] + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // reachable address, refused connection
+
+	mm := newMultiMonitor([]string{urls[0], urls[1], dead.URL}, 5)
+	if _, err := mm.scrape(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := mm.scrape(time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"3 nodes",
+		"n0 r/s", "n1 r/s", "n2 r/s", // one RED column per node
+		"/healthz", "/v1/rules", // route union across nodes
+		"DOWN", // the dead target
+		"n0 flight:", "n1 flight:",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("ring frame missing %q:\n%s", want, frame)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+// Multi-node mode: one ctflmon instance watching a whole ring. Each -addr
+// target keeps its own monitor (rate differencing is per node), and the
+// frame pivots the RED table so every route shows one rate column per node
+// — the view that makes a hot shard or a dead node obvious at a glance.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// multiMonitor owns one monitor per ring member.
+type multiMonitor struct {
+	nodes []*monitor
+}
+
+func newMultiMonitor(bases []string, tailN int) *multiMonitor {
+	mm := &multiMonitor{}
+	for _, b := range bases {
+		mm.nodes = append(mm.nodes, newMonitor(b, tailN))
+	}
+	return mm
+}
+
+// nodeFrame is one node's contribution to a multi-node frame. A node that
+// fails to scrape is rendered DOWN with empty columns rather than failing
+// the whole frame: during an incident the monitor must keep showing the
+// survivors.
+type nodeFrame struct {
+	prev, cur *sample
+	events    eventsPayload
+	err       error
+}
+
+// scrape pulls every node and renders one combined frame.
+func (mm *multiMonitor) scrape(now time.Time) (string, error) {
+	frames := make([]nodeFrame, len(mm.nodes))
+	for i, m := range mm.nodes {
+		nf := nodeFrame{prev: m.prev}
+		nf.cur, nf.err = m.scrapeSample(now)
+		if nf.err == nil {
+			m.prev = nf.cur
+			nf.events, _ = m.scrapeEvents(1)
+		}
+		frames[i] = nf
+	}
+	return renderMultiFrame(now, mm.nodes, frames), nil
+}
+
+// renderMultiFrame lays out the combined view: a node roster, the RED table
+// with per-node rate columns, per-node SLO breach counts, and one flight
+// stats line per node.
+func renderMultiFrame(now time.Time, nodes []*monitor, frames []nodeFrame) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ctflsrv ring %s  %d nodes\n\n", now.Format("15:04:05"), len(nodes))
+
+	// Roster: which URL is which column, and whether it is alive.
+	for i, m := range nodes {
+		nf := frames[i]
+		if nf.err != nil {
+			fmt.Fprintf(&b, "n%-2d %-28s DOWN: %v\n", i, m.base, nf.err)
+			continue
+		}
+		state := "healthy"
+		if nf.cur.values["ctfl_server_degraded"] != 0 {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(&b, "n%-2d %-28s %-8s uptime %-8s heap %s\n",
+			i, m.base, state,
+			(time.Duration(nf.cur.values["ctfl_process_uptime_seconds"]) * time.Second).String(),
+			fmtBytes(nf.cur.values["ctfl_process_heap_alloc_bytes"]))
+	}
+
+	// RED table, pivoted: rows are the union of routes across nodes, one
+	// rate column per node, then ring-wide totals and the worst p99.
+	perNode := make([]map[string]routeRow, len(frames))
+	routeSet := make(map[string]bool)
+	for i, nf := range frames {
+		perNode[i] = make(map[string]routeRow)
+		if nf.err != nil {
+			continue
+		}
+		for _, r := range redTable(nf.prev, nf.cur) {
+			perNode[i][r.route] = r
+			routeSet[r.route] = true
+		}
+	}
+	routes := make([]string, 0, len(routeSet))
+	for r := range routeSet {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(&b, "\n%-22s", "ROUTE")
+	for i := range nodes {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("n%d r/s", i))
+	}
+	fmt.Fprintf(&b, " %10s %6s %9s\n", "REQUESTS", "5XX", "WORST P99")
+	for _, route := range routes {
+		fmt.Fprintf(&b, "%-22s", route)
+		var requests, errors, worstP99 float64
+		for i := range nodes {
+			r, ok := perNode[i][route]
+			if !ok {
+				fmt.Fprintf(&b, " %8s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %8.1f", r.rate)
+			requests += r.requests
+			errors += r.errors
+			if r.p99 > worstP99 {
+				worstP99 = r.p99
+			}
+		}
+		fmt.Fprintf(&b, " %10.0f %6.0f %8.1fms\n", requests, errors, worstP99*1000)
+	}
+
+	// SLOs: per node, just the breach roll-up — burn sparklines stay a
+	// single-node view, the ring view only needs "who is on fire".
+	fmt.Fprintf(&b, "\n%-6s %8s %s\n", "NODE", "SLOS", "BREACHED")
+	for i, nf := range frames {
+		if nf.err != nil {
+			fmt.Fprintf(&b, "n%-5d %8s %s\n", i, "-", "-")
+			continue
+		}
+		var breached []string
+		slos := sloRows(nf.cur)
+		for _, o := range slos {
+			if o.breached {
+				breached = append(breached, o.name)
+			}
+		}
+		list := "none"
+		if len(breached) > 0 {
+			list = strings.Join(breached, " ")
+		}
+		fmt.Fprintf(&b, "n%-5d %8d %s\n", i, len(slos), list)
+	}
+
+	fmt.Fprintf(&b, "\n")
+	for i, nf := range frames {
+		if nf.err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "n%d flight: %d recorded, %d retained, %d pinned\n",
+			i, nf.events.Stats.Recorded, nf.events.Stats.Retained, nf.events.Stats.Pinned)
+	}
+	return b.String()
+}

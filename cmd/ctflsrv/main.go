@@ -11,6 +11,19 @@
 //	        [-round-perms 0] [-round-seed 1] [-round-workers 0]
 //	        [-flight-size 1024] [-flight-tail 256] [-slo-interval 5s]
 //	        [-slo-latency-bound 0.25]
+//	        [-cluster-self URL] [-cluster-peers URL,URL,...]
+//	        [-replica URL] [-leader URL] [-follow-interval 250ms]
+//	        [-repl-lag-bound 2] [-repl-timeout 5s]
+//
+// Clustering: -cluster-peers places every federation on one ring member by
+// consistent hash; requests for a federation this node does not own answer
+// 421 with the owner's URL in X-CTFL-Shard (the server.Client follows the
+// redirect automatically). -replica makes this node a leader that pushes
+// every WAL segment to the named follower before acknowledging a write;
+// -leader makes this node a follower that applies pushed segments, fences
+// its own write routes with 503, probes the leader's /healthz every
+// -follow-interval, and promotes itself when the replication_lag SLO burns
+// (gauge above -repl-lag-bound on both burn windows).
 //
 // With -data-dir set, every accepted lifecycle mutation is write-ahead
 // logged and the full federation state is recovered on restart; without it
@@ -62,12 +75,25 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/jobs"
 	"repro/internal/server"
 )
+
+// splitPeers turns the comma-separated -cluster-peers value into member
+// URLs, dropping empty segments so trailing commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (port 0 picks a free port)")
@@ -95,6 +121,13 @@ func main() {
 	flightTail := flag.Int("flight-tail", 256, "flight recorder pinned-tail capacity (interesting events)")
 	sloInterval := flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation cadence (negative disables)")
 	sloLatencyBound := flag.Float64("slo-latency-bound", 0.25, "per-route latency SLO threshold in seconds")
+	clusterSelf := flag.String("cluster-self", "", "this node's public base URL within -cluster-peers")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated base URLs of every ring member (requires -cluster-self)")
+	replicaURL := flag.String("replica", "", "follower base URL to replicate the WAL to (leader role; requires -data-dir)")
+	leaderURL := flag.String("leader", "", "leader base URL to follow (follower role: writes fenced until promotion)")
+	followInterval := flag.Duration("follow-interval", 250*time.Millisecond, "follower leader-health probe cadence")
+	replLagBound := flag.Float64("repl-lag-bound", 2, "replication-lag SLO threshold in seconds before failover burn starts")
+	replTimeout := flag.Duration("repl-timeout", 5*time.Second, "timeout per replication push / leader health probe")
 	withPprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
@@ -127,6 +160,13 @@ func main() {
 		FlightTailSize:    *flightTail,
 		SLOInterval:       *sloInterval,
 		SLOLatencyBound:   *sloLatencyBound,
+		ClusterSelf:       *clusterSelf,
+		ClusterPeers:      splitPeers(*clusterPeers),
+		ReplicaURL:        *replicaURL,
+		LeaderURL:         *leaderURL,
+		FollowInterval:    *followInterval,
+		ReplLagBound:      *replLagBound,
+		ReplTimeout:       *replTimeout,
 	})
 	if err != nil {
 		logger.Error("ctflsrv: startup failed", "err", err)

@@ -45,6 +45,9 @@ const (
 	KindRound Kind = 3
 	// KindWAL is one WAL append failure or degraded-mode transition.
 	KindWAL Kind = 4
+	// KindCluster is one replication or failover transition: a follower
+	// resync, a leader push failure, or a promotion.
+	KindCluster Kind = 5
 )
 
 // String renders the kind for JSON and terminal views.
@@ -58,6 +61,8 @@ func (k Kind) String() string {
 		return "round"
 	case KindWAL:
 		return "wal"
+	case KindCluster:
+		return "cluster"
 	default:
 		return "unknown"
 	}

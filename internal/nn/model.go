@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Config controls model shape and training.
@@ -462,19 +463,51 @@ func (m *Model) PredictBatch(xs [][]float64) []int {
 	return out
 }
 
-// Accuracy returns the deployed model's accuracy on (xs, ys).
+// Accuracy returns the deployed model's accuracy on (xs, ys). Predictions
+// are counted in place rather than materialized: callers like the streaming
+// valuation engine evaluate thousands of coalitions per round, and a
+// per-call prediction slice is pure GC pressure. The integer hit counts are
+// order-independent, so the result is identical at any worker count.
 func (m *Model) Accuracy(xs [][]float64, ys []int) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	pred := m.PredictBatch(xs)
+	var ok atomic.Int64
+	m.parallelOver(len(xs), func(lo, hi int, buf *fwdBuffers) {
+		n := 0
+		for i := lo; i < hi; i++ {
+			p := 0
+			if m.forward(xs[i], true, buf) >= 0 {
+				p = 1
+			}
+			if p == ys[i] {
+				n++
+			}
+		}
+		ok.Add(int64(n))
+	})
+	return float64(ok.Load()) / float64(len(xs))
+}
+
+// CountCorrect returns how many rows of xs the deployed model labels as
+// ys. Serial and allocation-free in steady state (pooled forward buffers,
+// no prediction slice, no worker fan-out): the streaming valuation engine's
+// per-coalition scorer, where concurrency already lives above the model and
+// any per-call allocation multiplies across thousands of evaluations.
+func (m *Model) CountCorrect(xs [][]float64, ys []int) int {
+	buf := m.getBuffers()
 	ok := 0
-	for i, p := range pred {
+	for i, x := range xs {
+		p := 0
+		if m.forward(x, true, buf) >= 0 {
+			p = 1
+		}
 		if p == ys[i] {
 			ok++
 		}
 	}
-	return float64(ok) / float64(len(xs))
+	m.putBuffers(buf)
+	return ok
 }
 
 // RuleActivations fills dst (length RuleDim) with the binarized model's

@@ -1,0 +1,151 @@
+package protocol
+
+// Wire type 8: replicated-WAL-segment. The replication layer streams a
+// shard leader's logical event log to its follower as segments of
+// (event type, payload) records on the canonical CTFL envelope — the
+// same frozen framing every other message rides, so the follower's
+// ingest path gets CRC verification and length bounds for free.
+//
+// Body layout (little-endian):
+//
+//	flags     uint8   bit 0 = reset: the segment restates the leader's
+//	                  entire logical log from sequence 0 and the follower
+//	                  must discard its state and rebuild from it; other
+//	                  bits are reserved and rejected
+//	startSeq  uint64  log index of the first record in the segment
+//	count     uint32  record count
+//	count × ( type uint8, payloadLen uint32, payload bytes )
+//
+// Record types are the store's WAL event types; the codec only requires
+// them nonzero so the protocol layer stays decoupled from the store's
+// enum. Encoding is canonical: the same records produce the same bytes,
+// which the round-trip fuzz target (FuzzWALSegment) pins.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TypeWALSegment is the v2 replicated-WAL-segment message type.
+const TypeWALSegment = 8
+
+// walSegmentFlagReset marks a full-log restatement.
+const walSegmentFlagReset = 1
+
+// walSegmentHeaderLen is the fixed body prefix: flags + startSeq + count.
+const walSegmentHeaderLen = 1 + 8 + 4
+
+// WALRecord is one replicated log record: a store event type tag and its
+// payload. Parsed records alias the frame body.
+type WALRecord struct {
+	Type    uint8
+	Payload []byte
+}
+
+// AppendWALSegment frames the records as a v2 replicated-WAL-segment
+// appended to dst. startSeq is the leader-log index of recs[0]; reset
+// marks a full restatement from sequence 0.
+func AppendWALSegment(dst []byte, startSeq uint64, reset bool, recs []WALRecord) ([]byte, error) {
+	if reset && startSeq != 0 {
+		return nil, fmt.Errorf("protocol: reset WAL segment must start at sequence 0, not %d", startSeq)
+	}
+	for i, rec := range recs {
+		if rec.Type == 0 {
+			return nil, fmt.Errorf("protocol: WAL segment record %d has zero type", i)
+		}
+		if len(rec.Payload) > maxVecLen {
+			return nil, fmt.Errorf("protocol: WAL segment record %d payload %d bytes exceeds limit", i, len(rec.Payload))
+		}
+	}
+	if len(recs) > maxRecords {
+		return nil, fmt.Errorf("protocol: WAL segment record count %d exceeds limit", len(recs))
+	}
+	var flags uint8
+	if reset {
+		flags |= walSegmentFlagReset
+	}
+	return appendFramed(dst, Version2, TypeWALSegment, func(d []byte) []byte {
+		d = append(d, flags)
+		d = appendU64(d, startSeq)
+		d = appendU32(d, uint32(len(recs)))
+		for _, rec := range recs {
+			d = append(d, rec.Type)
+			d = appendU32(d, uint32(len(rec.Payload)))
+			d = append(d, rec.Payload...)
+		}
+		return d
+	}), nil
+}
+
+// WALSegment is a validated view of a replicated-WAL-segment body; record
+// payloads alias the parsed frame.
+type WALSegment struct {
+	StartSeq uint64
+	Reset    bool
+	Count    int
+	raw      []byte // the record region, fully validated
+}
+
+// ParseWALSegment validates a replicated-WAL-segment frame — flags,
+// counts, per-record bounds, no trailing bytes — and returns its view
+// without copying any payload.
+func ParseWALSegment(f Frame) (WALSegment, error) {
+	if f.Version != Version2 || f.Type != TypeWALSegment {
+		return WALSegment{}, fmt.Errorf("protocol: not a WAL segment (version %d type %d)", f.Version, f.Type)
+	}
+	body := f.Body
+	if len(body) < walSegmentHeaderLen {
+		return WALSegment{}, fmt.Errorf("protocol: WAL segment body too short (%d bytes)", len(body))
+	}
+	flags := body[0]
+	if flags&^uint8(walSegmentFlagReset) != 0 {
+		return WALSegment{}, fmt.Errorf("protocol: WAL segment has unknown flag bits %#x", flags)
+	}
+	seg := WALSegment{
+		StartSeq: binary.LittleEndian.Uint64(body[1:9]),
+		Reset:    flags&walSegmentFlagReset != 0,
+	}
+	if seg.Reset && seg.StartSeq != 0 {
+		return WALSegment{}, fmt.Errorf("protocol: reset WAL segment starts at %d, want 0", seg.StartSeq)
+	}
+	count := int64(binary.LittleEndian.Uint32(body[9:13]))
+	if count > maxRecords {
+		return WALSegment{}, fmt.Errorf("protocol: WAL segment record count %d exceeds limit", count)
+	}
+	at := int64(walSegmentHeaderLen)
+	for i := int64(0); i < count; i++ {
+		if at+5 > int64(len(body)) {
+			return WALSegment{}, fmt.Errorf("protocol: truncated WAL segment record %d", i)
+		}
+		if body[at] == 0 {
+			return WALSegment{}, fmt.Errorf("protocol: WAL segment record %d has zero type", i)
+		}
+		plen := int64(binary.LittleEndian.Uint32(body[at+1 : at+5]))
+		if plen > maxVecLen || at+5+plen > int64(len(body)) {
+			return WALSegment{}, fmt.Errorf("protocol: WAL segment record %d payload length %d exceeds body", i, plen)
+		}
+		at += 5 + plen
+	}
+	if at != int64(len(body)) {
+		return WALSegment{}, fmt.Errorf("protocol: %d trailing bytes in WAL segment body", int64(len(body))-at)
+	}
+	seg.Count = int(count)
+	seg.raw = body[walSegmentHeaderLen:]
+	return seg, nil
+}
+
+// AppendRecords appends the segment's records to dst. Payloads alias the
+// parsed frame; callers that outlive the frame buffer must copy them.
+func (s WALSegment) AppendRecords(dst []WALRecord) []WALRecord {
+	at := 0
+	for i := 0; i < s.Count; i++ {
+		typ := s.raw[at]
+		plen := int(binary.LittleEndian.Uint32(s.raw[at+1 : at+5]))
+		dst = append(dst, WALRecord{
+			Type:    typ,
+			Payload: s.raw[at+5 : at+5+plen : at+5+plen],
+		})
+		at += 5 + plen
+	}
+	return dst
+}

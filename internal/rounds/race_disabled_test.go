@@ -1,0 +1,5 @@
+//go:build !race
+
+package rounds
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package rounds
+
+// raceEnabled reports the race detector is on: sync.Pool deliberately drops
+// cached items under -race, so pool-backed zero-alloc pins cannot hold.
+const raceEnabled = true

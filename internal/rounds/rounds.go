@@ -125,6 +125,21 @@ type Engine struct {
 
 	evals      atomic.Int64
 	truncWalks atomic.Int64
+
+	// scratch pools per-coalition-evaluation working sets (one model clone
+	// plus its aggregation buffer). A round evaluates tens to thousands of
+	// coalitions and every one used to pay a full Clone — random weight
+	// init, RNG seeding, fresh Adam state — only to overwrite all of it
+	// with SetParams. The pool self-sizes to the engine's worker count.
+	scratch sync.Pool
+}
+
+// evalScratch is one coalition evaluation's working set: a reusable model
+// whose parameters are overwritten per evaluation, and the flat buffer the
+// coalition's weighted aggregate is accumulated in.
+type evalScratch struct {
+	m   *nn.Model
+	agg []float64
 }
 
 // New builds an engine. The empty-coalition utility is the evaluation set's
@@ -383,7 +398,15 @@ func (e *Engine) evalCoalition(u protocol.RoundUpdate, mask uint64) (float64, er
 			totalW += u.Weight(i)
 		}
 	}
-	agg := make([]float64, e.paramCount)
+	sc, _ := e.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{m: e.cfg.Model.Clone(), agg: make([]float64, e.paramCount)}
+	}
+	defer e.scratch.Put(sc)
+	agg := sc.agg
+	// Zeroing keeps the accumulation arithmetic bit-identical to a fresh
+	// allocation (the determinism contract covers the float op sequence).
+	clear(agg)
 	for i := 0; i < u.Count; i++ {
 		if mask&(1<<uint(i)) == 0 {
 			continue
@@ -393,11 +416,13 @@ func (e *Engine) evalCoalition(u protocol.RoundUpdate, mask uint64) (float64, er
 			agg[j] += w * u.Param(i, j)
 		}
 	}
-	m := e.cfg.Model.Clone()
-	if err := m.SetParams(agg); err != nil {
+	if err := sc.m.SetParams(agg); err != nil {
 		return 0, err
 	}
-	return m.Accuracy(e.cfg.EvalX, e.cfg.EvalY), nil
+	// CountCorrect instead of Accuracy: same division, but serial and
+	// allocation-free — evaluation concurrency lives in the oracle above.
+	ok := sc.m.CountCorrect(e.cfg.EvalX, e.cfg.EvalY)
+	return float64(ok) / float64(len(e.cfg.EvalX)), nil
 }
 
 // permSeed derives the per-round permutation seed: a fixed mix of the

@@ -415,3 +415,72 @@ func TestOutcomeCodecRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestEvalCoalitionSteadyStateAllocs pins the scratch pooling: once the
+// per-evaluation pool is warm, reconstructing and scoring a coalition heap-
+// allocates nothing — the model clone and aggregation buffer are reused
+// (BENCH_7 measured 1043 allocs/op on BenchmarkIncrementalScores before the
+// pool; a regression here is how that number comes back).
+func TestEvalCoalitionSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops cached items under -race")
+	}
+	const width, nParts = 10, 4
+	// Workers=1 keeps Accuracy on its serial path: worker goroutines would
+	// charge their stacks to AllocsPerRun and make the pin flaky.
+	model, err := nn.New(width, nn.Config{Hidden: []int{6}, Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(17)
+	evalX := make([][]float64, 32)
+	evalY := make([]int, len(evalX))
+	for i := range evalX {
+		row := make([]float64, width)
+		for j := range row {
+			row[j] = float64(r.Intn(2))
+		}
+		evalX[i] = row
+		evalY[i] = r.Intn(2)
+	}
+	e, err := New(Config{Model: model, EvalX: evalX, EvalY: evalY, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramCount := len(model.Params())
+	parts := make([]protocol.RoundParticipant, nParts)
+	for i := range parts {
+		params := make([]float64, paramCount)
+		for j := range params {
+			params[j] = r.NormFloat64()
+		}
+		parts[i] = protocol.RoundParticipant{ID: i, Weight: float64(1 + i), Params: params}
+	}
+	frame, err := protocol.AppendRoundUpdate(nil, 0, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err := protocol.ParseFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := protocol.ParseRoundUpdate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := uint64(1)<<nParts - 1
+	if _, err := e.evalCoalition(u, full); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	mask := uint64(0)
+	avg := testing.AllocsPerRun(50, func() {
+		mask = mask%full + 1 // cycle every non-empty coalition
+		if _, err := e.evalCoalition(u, mask); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("evalCoalition allocates %.1f objects per call in steady state, want 0", avg)
+	}
+}

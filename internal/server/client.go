@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/jobs"
@@ -69,7 +70,9 @@ func (p ClientRetryPolicy) withDefaults() ClientRetryPolicy {
 // pre-send injected faults always; transport errors only on idempotent
 // calls, because a lost response does not prove the request had no effect.
 type Client struct {
-	// BaseURL of the service, e.g. "http://localhost:8080".
+	// BaseURL of the service, e.g. "http://localhost:8080". With Shards
+	// set, BaseURL is only the fallback for requests that cannot be ring-
+	// routed (an empty Fed).
 	BaseURL string
 	// HTTPClient defaults to a shared client with a 60s timeout.
 	HTTPClient *http.Client
@@ -81,9 +84,30 @@ type Client struct {
 	// testing. Nil disables injection.
 	Faults *faults.Injector
 
+	// Shards lists the cluster's ring membership (node base URLs). When
+	// set, requests route to Fed's ring owner through the same
+	// deterministic consistent-hash ring the servers build, and every
+	// request carries Fed in X-CTFL-Fed. A 421 (wrong shard) or a
+	// follower's 503 carries the right node in X-CTFL-Shard; the client
+	// learns it as an override and retries there — so topology changes
+	// (membership edits, failover) converge without reconfiguration.
+	Shards []string
+	// Fed is the federation id this client addresses; required for ring
+	// routing when Shards is set.
+	Fed string
+
 	jitterOnce sync.Once
 	jitterMu   sync.Mutex
 	jitter     *rand.Rand
+
+	ringOnce sync.Once
+	ring     *cluster.Ring
+	ringErr  error
+
+	// override is the redirect-learned target (X-CTFL-Shard); it beats
+	// the ring until a transport failure clears it.
+	overrideMu sync.Mutex
+	override   string
 }
 
 func (c *Client) http() *http.Client {
@@ -121,11 +145,12 @@ func (c *Client) backoffDelay(p ClientRetryPolicy, n int) time.Duration {
 type failKind int
 
 const (
-	failNone      failKind = iota
-	failPreSend            // injected before the wire: server never saw it
-	failTransport          // sent, no response: effect on the server unknown
-	failRejected           // 503/429: the server rejected before any effect
-	failPermanent          // any other status or a decode error
+	failNone       failKind = iota
+	failPreSend             // injected before the wire: server never saw it
+	failTransport           // sent, no response: effect on the server unknown
+	failRejected            // 503/429: the server rejected before any effect
+	failMisrouted           // 421: wrong shard, rejected before any effect
+	failPermanent           // any other status or a decode error
 )
 
 // attempt is one request/response cycle's outcome.
@@ -142,6 +167,31 @@ type rawBody struct {
 	data        []byte
 }
 
+// baseFor resolves the node one attempt targets: a redirect-learned
+// override first, then Fed's ring owner, then BaseURL.
+func (c *Client) baseFor() (string, error) {
+	c.overrideMu.Lock()
+	ov := c.override
+	c.overrideMu.Unlock()
+	if ov != "" {
+		return ov, nil
+	}
+	if len(c.Shards) == 0 || c.Fed == "" {
+		return c.BaseURL, nil
+	}
+	c.ringOnce.Do(func() { c.ring, c.ringErr = cluster.New(c.Shards, cluster.Config{}) })
+	if c.ringErr != nil {
+		return "", fmt.Errorf("client: shard ring: %w", c.ringErr)
+	}
+	return c.ring.Lookup(c.Fed), nil
+}
+
+func (c *Client) setOverride(url string) {
+	c.overrideMu.Lock()
+	c.override = url
+	c.overrideMu.Unlock()
+}
+
 // doOnce performs a single exchange. body is a byte slice (not a Reader) so
 // the retry loop can replay it. accept, when non-empty, is sent as the Accept
 // header to negotiate the response encoding.
@@ -153,7 +203,11 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, accept s
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	base, err := c.baseFor()
+	if err != nil {
+		return attempt{err: err, kind: failPermanent}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return attempt{err: err, kind: failPermanent}
 	}
@@ -163,11 +217,29 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, accept s
 	if accept != "" {
 		req.Header.Set("Accept", accept)
 	}
+	if c.Fed != "" {
+		req.Header.Set(HeaderFed, c.Fed)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
+		// The node may be gone (failover, membership change): drop any
+		// learned override so the next attempt re-derives from the ring.
+		c.setOverride("")
 		return attempt{err: err, kind: failTransport}
 	}
-	defer resp.Body.Close()
+	// Drain whatever the decode below leaves unread (a 204's empty body,
+	// an ignored success payload, a json.Decoder's trailing newline) so
+	// the keep-alive connection goes back to the pool instead of being
+	// torn down — redialing per request is ruinous under sustained load.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<10))
+		resp.Body.Close()
+	}()
+	// Any response may carry a better target (the ring owner on 421, the
+	// shard leader on a follower's 503); learn it before classifying.
+	if sh := resp.Header.Get(HeaderShard); sh != "" {
+		c.setOverride(sh)
+	}
 	if resp.StatusCode >= 400 {
 		// A failed trace job polls as 500 *with* the job envelope: that is a
 		// successful poll of an unsuccessful job, and the caller (Trace's
@@ -184,6 +256,11 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType, accept s
 		a := attempt{kind: failPermanent}
 		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
 			a.kind = failRejected
+		}
+		if resp.StatusCode == http.StatusMisdirectedRequest {
+			// The shard gate rejected before the handler ran: no effect,
+			// and the override above points the retry at the owner.
+			a.kind = failMisrouted
 		}
 		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs >= 0 {
 			a.retryAfter = time.Duration(secs) * time.Second
@@ -252,7 +329,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType, accept strin
 			return nil
 		}
 		retryable := a.kind == failPreSend || a.kind == failRejected ||
-			(a.kind == failTransport && idempotent)
+			a.kind == failMisrouted || (a.kind == failTransport && idempotent)
 		if !retryable || n >= p.MaxAttempts {
 			return a.err
 		}
@@ -298,7 +375,16 @@ func (c *Client) UploadActivations(ctx context.Context, up *protocol.Upload) err
 	if err := up.Write(&buf); err != nil {
 		return err
 	}
-	return c.do(ctx, http.MethodPost, "/v1/uploads", protocol.ContentTypeFrame, "", buf.Bytes(), nil, false)
+	return c.UploadFrames(ctx, buf.Bytes())
+}
+
+// UploadFrames sends pre-encoded upload frames (one or more, concatenated)
+// exactly as produced by protocol.Upload.Write. The server ingests the
+// client's bytes zero-copy, so a caller that already holds wire frames —
+// a relay, a replayer, a load generator — skips the re-encode entirely.
+// Same idempotency caveats as UploadActivations.
+func (c *Client) UploadFrames(ctx context.Context, frames []byte) error {
+	return c.do(ctx, http.MethodPost, "/v1/uploads", protocol.ContentTypeFrame, "", frames, nil, false)
 }
 
 // PublishRoundEval registers the held-out evaluation set that anchors the

@@ -39,6 +39,7 @@ const (
 	sloWAL          = "wal_availability"
 	sloStaleness    = "score_staleness"
 	sloIngestLag    = "rounds_ingest_lag"
+	sloReplication  = "replication_lag"
 )
 
 // sloSyncFloor rate-limits the evaluator ticks successful WAL appends
@@ -67,6 +68,14 @@ func (s *Server) registerSLOs() {
 		Name:   sloIngestLag,
 		Source: telemetry.HistogramSLOSource{H: s.roundsObs.UpdateSeconds, Bound: s.opts.SLOIngestBound},
 	})
+	// Followers watch their leader through the replication-lag gauge; a
+	// burn-rate breach of this objective is the promotion trigger.
+	if s.opts.LeaderURL != "" {
+		s.slo.Add(telemetry.SLOConfig{
+			Name:   sloReplication,
+			Source: &telemetry.GaugeSLOSource{G: s.replLag, Bound: s.opts.ReplLagBound},
+		})
+	}
 }
 
 // sloTickLocked re-evaluates every objective at now and applies breach
@@ -88,6 +97,15 @@ func (s *Server) sloTickLocked(now time.Time) {
 // every other objective alerts through its metric families and the log.
 // Caller holds s.mu (write).
 func (s *Server) applySLOTransitionLocked(tr telemetry.SLOTransition) {
+	if tr.Name == sloReplication {
+		// Sustained loss of leader contact on a follower is the failover
+		// trigger: promote exactly once; the breach clearing later (the
+		// gauge freezes after promotion) changes nothing.
+		if tr.Breached && s.following {
+			s.promoteLocked()
+		}
+		return
+	}
 	if tr.Name != sloWAL {
 		if tr.Breached {
 			s.log.Warn("slo breach", "slo", tr.Name)
@@ -162,6 +180,8 @@ func parseKind(v string) (flight.Kind, bool) {
 		return flight.KindRound, true
 	case "wal":
 		return flight.KindWAL, true
+	case "cluster":
+		return flight.KindCluster, true
 	default:
 		return 0, false
 	}

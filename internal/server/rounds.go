@@ -127,7 +127,7 @@ func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
 // resetting the score stream.
 func (s *Server) handleRoundEval(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	enc, model, version := s.st.enc, s.st.model, s.st.version
+	enc, model := s.st.enc, s.st.model
 	s.mu.RUnlock()
 	if enc == nil || model == nil {
 		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
@@ -146,7 +146,9 @@ func (s *Server) handleRoundEval(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.st.version != version {
+	if s.st.enc != enc || s.st.model != model {
+		// Identity of the encoder and model the eval set was parsed
+		// against is what matters; uploads landing meanwhile are fine.
 		httpError(w, http.StatusConflict, errors.New("federation state changed during registration; resubmit"))
 		return
 	}
@@ -193,7 +195,6 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.RLock()
 	eng := s.st.rounds
-	version := s.st.version
 	s.mu.RUnlock()
 	if eng == nil {
 		httpError(w, http.StatusConflict, errors.New("register an evaluation set first (POST /v1/rounds, text/csv)"))
@@ -239,7 +240,10 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.st.version != version || s.st.rounds != eng {
+	if s.st.rounds != eng {
+		// The engine object is replaced on every re-registration and
+		// republish, so identity alone detects a superseded stream;
+		// concurrent uploads advance the version but keep the engine.
 		roundEvent(flight.OutcomeRejected, out.Round, "federation state changed during round ingest")
 		httpError(w, http.StatusConflict, errors.New("federation state changed during round ingest; resubmit"))
 		return

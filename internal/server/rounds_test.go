@@ -341,3 +341,58 @@ func TestRoundRouteValidation(t *testing.T) {
 		t.Fatalf("stream not reset by re-registration: %+v", snap)
 	}
 }
+
+// TestScoresWaitRequestCancellation is the rounds-path twin of the trace
+// ?wait= regression test (TestWaitTraceRequestCancellationFreesSlot): a
+// GET /v1/scores long-poll whose client disconnects mid-wait must unblock
+// the handler promptly — request-context cancellation propagates into
+// rounds.Engine.Wait — instead of holding the goroutine for the full wait
+// duration.
+func TestScoresWaitRequestCancellation(t *testing.T) {
+	fx := buildFederation(t)
+	s, err := NewWithOptions(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeServer(t, s)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	publishAll(t, ts, fx)
+	if resp := post(t, ts, "/v1/rounds", "text/csv", fx.testCSV); resp.StatusCode != http.StatusOK {
+		t.Fatalf("round eval registration: status %d", resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// round=999 can never be satisfied (nothing is pushed), so the handler
+	// genuinely parks in Engine.Wait until the context dies.
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/v1/scores?round=999&wait=30s", nil)
+	req = req.WithContext(ctx)
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		s.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(30 * time.Millisecond) // let the handler reach Engine.Wait
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler still blocked 5s after request cancellation; wait=30s would hold the goroutine")
+	}
+	// Disconnect and timeout share the fallback: the current snapshot is
+	// still written (the poller may have raced a real answer).
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 snapshot fallback", rec.Code)
+	}
+	var sr ScoresResponse
+	if err := json.NewDecoder(rec.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Rounds != 0 {
+		t.Fatalf("snapshot rounds = %d, want 0 (nothing ingested)", sr.Rounds)
+	}
+}

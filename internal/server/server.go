@@ -62,6 +62,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/faults"
@@ -166,6 +167,34 @@ type Options struct {
 	// SLOIngestBound is the rounds_ingest_lag objective's threshold in
 	// seconds (default 1): a round update slower than this burns budget.
 	SLOIngestBound float64
+
+	// ClusterSelf is this node's public base URL on the shard ring, e.g.
+	// "http://10.0.0.1:8080". Required when ClusterPeers is set.
+	ClusterSelf string
+	// ClusterPeers is the full ring membership (every node's base URL,
+	// ClusterSelf included). When set, requests carrying an X-CTFL-Fed
+	// header for a federation this node does not own are answered with
+	// 421 + X-CTFL-Shard so clients re-route. Empty disables sharding.
+	ClusterPeers []string
+	// ReplicaURL makes this node a shard leader: every persist batch is
+	// synchronously shipped to the follower at this URL before it touches
+	// the local WAL, so an acknowledged write is durable on both nodes.
+	// Requires DataDir.
+	ReplicaURL string
+	// LeaderURL makes this node a follower: mutating requests are fenced
+	// with 503 + X-CTFL-Shard, POST /v1/replicate is accepted, and the
+	// leader's /healthz is probed every FollowInterval. A burn-rate breach
+	// of the replication_lag objective promotes this node to leader.
+	LeaderURL string
+	// FollowInterval paces the follower's leader health probes
+	// (default 250ms).
+	FollowInterval time.Duration
+	// ReplLagBound is the replication_lag objective's threshold in seconds
+	// (default 2): a follower that has not heard from its leader for
+	// longer burns budget toward promotion.
+	ReplLagBound float64
+	// ReplTimeout bounds one replication push or leader probe (default 5s).
+	ReplTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -222,6 +251,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SLOIngestBound <= 0 {
 		o.SLOIngestBound = 1
+	}
+	if o.FollowInterval <= 0 {
+		o.FollowInterval = 250 * time.Millisecond
+	}
+	if o.ReplLagBound <= 0 {
+		o.ReplLagBound = 2
+	}
+	if o.ReplTimeout <= 0 {
+		o.ReplTimeout = 5 * time.Second
 	}
 	return o
 }
@@ -320,6 +358,22 @@ type Server struct {
 	// engine exists.
 	roundsObs *rounds.Obs
 
+	// Cluster state (see cluster.go): the shard ring, the leader's push
+	// client, and the follower's cursor + promotion flag. following and
+	// the replication cursor are guarded by mu (write).
+	ring              *cluster.Ring
+	clusterClient     *http.Client // replication pushes + leader probes
+	following         bool         // true while fenced behind a leader
+	replApplied       uint64       // follower cursor: records applied this incarnation
+	lastLeaderContact time.Time
+	replLag           *telemetry.Gauge
+	replSegments      *telemetry.Counter
+	replFailures      *telemetry.Counter
+	replResyncs       *telemetry.Counter
+	promotions        *telemetry.Counter
+	followStop        chan struct{}
+	followDone        chan struct{}
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -378,6 +432,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 		"degradations tripped by wal_availability SLO burn (vs the consecutive-failure threshold)")
 	s.spans.SetEvictionCounter(s.reg.Counter("ctfl_spans_children_evicted_total",
 		"span children dropped by the per-span cap"))
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 	s.slo = telemetry.NewSLOEvaluator(s.reg)
 	s.registerSLOs()
 
@@ -416,6 +473,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 	if opts.DataDir != "" {
 		st, events, err := store.Open(opts.DataDir, store.Options{
 			Sync: !opts.NoSync, Logf: opts.Logf, Obs: s.storeObs, Faults: opts.Faults,
+			// Leaders retain the logical event log so cursor resyncs can
+			// re-feed a lagging follower (see cluster.go).
+			Retain: opts.ReplicaURL != "",
 		})
 		if err != nil {
 			return nil, err
@@ -448,6 +508,7 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.route("/v1/events", s.handleEvents)
 	s.route("/v1/debug/bundle", s.handleDebugBundle)
 	s.route("/v1/version", s.handleVersion)
+	s.route("/v1/replicate", s.handleReplicate)
 	s.route("/metrics", s.handleMetrics)
 
 	s.sloStop = make(chan struct{})
@@ -456,6 +517,13 @@ func NewWithOptions(opts Options) (*Server, error) {
 		go s.sloLoop(opts.SLOInterval)
 	} else {
 		close(s.sloDone)
+	}
+	s.followStop = make(chan struct{})
+	s.followDone = make(chan struct{})
+	if s.following {
+		go s.followLoop()
+	} else {
+		close(s.followDone)
 	}
 	return s, nil
 }
@@ -474,6 +542,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // snapshot, and releases the store. Safe to call more than once.
 func (s *Server) Close(ctx context.Context) error {
 	s.closeOnce.Do(func() {
+		close(s.followStop)
+		<-s.followDone
 		close(s.sloStop)
 		<-s.sloDone
 		drainErr := s.engine.Close(ctx)
@@ -632,6 +702,12 @@ func (s *Server) persistLocked(evs ...store.Event) error {
 			return errDegraded
 		}
 	}
+	// Leaders replicate before appending locally: a failure here rejects
+	// the write with no local effect (the contract above), and the
+	// follower's cursor check absorbs the re-push when the client retries.
+	if err := s.replicateLocked(evs); err != nil {
+		return err
+	}
 	s.walAttempts.Inc()
 	if err := s.store.AppendBatch(evs); err != nil {
 		s.walFails++
@@ -738,7 +814,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // readBody drains a POST body under the configured cap, converting an
 // overrun into 413 at the call site via maxBytesCode.
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	return io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	rd := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	// Read declared-length bodies into one exact-size buffer: io.ReadAll's
+	// grow-by-doubling re-zeroes and re-copies an 8KB upload four times
+	// over, which under sustained ingest is a double-digit share of
+	// handler CPU. net/http caps the body at Content-Length, so a full
+	// read here is the whole body.
+	if n := r.ContentLength; n > 0 && n <= s.opts.MaxBodyBytes {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(rd)
 }
 
 // requireContentType validates the request's Content-Type against the
@@ -782,6 +871,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"participants": s.st.parts,
 		"durable":      s.store != nil,
 		"degraded":     s.degraded,
+	}
+	if s.ring != nil || s.opts.ReplicaURL != "" || s.opts.LeaderURL != "" {
+		role := "leader"
+		if s.following {
+			role = "follower"
+		}
+		cl := map[string]any{
+			"role":     role,
+			"promoted": s.opts.LeaderURL != "" && !s.following,
+			"applied":  s.replApplied,
+		}
+		if s.ring != nil {
+			cl["shard"] = s.opts.ClusterSelf
+			cl["peers"] = s.ring.Size()
+		}
+		if s.opts.ReplicaURL != "" {
+			cl["replica"] = s.opts.ReplicaURL
+		}
+		state["cluster"] = cl
 	}
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, state)
@@ -870,11 +978,10 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnsupportedMediaType, err)
 		return
 	}
-	// Snapshot the rule width, then validate the whole batch without
+	// Snapshot the rule space, then validate the whole batch without
 	// holding any lock.
 	s.mu.RLock()
 	rs := s.st.rs
-	version := s.st.version
 	s.mu.RUnlock()
 	if rs == nil {
 		httpError(w, http.StatusConflict, errors.New("publish encoder and model first"))
@@ -908,9 +1015,12 @@ func (s *Server) handleUploads(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.st.version != version {
+	if s.st.rs != rs {
 		// Encoder/model were republished while we decoded; these frames
-		// belong to a superseded rule space.
+		// belong to a superseded rule space. The guard is the rule-space
+		// object itself (apply* replaces it wholesale, never mutates), so
+		// concurrent uploads — which advance the version but keep the rule
+		// space — commit without spurious conflicts.
 		httpError(w, http.StatusConflict, errors.New("federation state changed during upload; resubmit"))
 		return
 	}

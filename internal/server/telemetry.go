@@ -113,7 +113,13 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 		s.requests.Add(pattern, 1)
 		reqs.Inc()
 		s.inFlight.Add(1)
-		h(sw, r.WithContext(ctx))
+		r = r.WithContext(ctx)
+		// The cluster gate answers misdirected requests (wrong shard) and
+		// fenced writes (follower) before the handler runs, so they have no
+		// effect and still get full request accounting.
+		if !s.clusterGate(sw, r, pattern) {
+			h(sw, r)
+		}
 		s.inFlight.Add(-1)
 
 		d := time.Since(t0)

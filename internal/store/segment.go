@@ -1,0 +1,58 @@
+package store
+
+// The replication cursor: with Options.Retain set, the store keeps its
+// logical event log — every state-bearing event replayed at Open or
+// appended since, in order, Nop probes excluded — in memory, addressed
+// by a dense sequence number (the log index of the next event, starting
+// at 0 for an empty store). A shard leader ships suffixes of this log to
+// its follower as replicated-WAL-segment frames; the follower's applied
+// count is its cursor into the leader's log.
+//
+// The log is rebuilt from the snapshot+WAL replay on restart, so its
+// numbering is only meaningful within one leader incarnation: after a
+// leader compacts and restarts, the replayed log is the minimal
+// restatement of state, not the original append history. The replication
+// protocol handles this with reset segments (see internal/protocol,
+// type 8): a follower whose cursor does not match simply asks for the
+// full log again.
+
+// retain appends state-bearing events to the logical log. Payloads are
+// deep-copied: callers commonly reuse request buffers after Append
+// returns. Callers hold s.mu (AppendBatch) or own the store exclusively
+// (Open).
+func (s *Store) retain(evs []Event) {
+	for _, ev := range evs {
+		if ev.Type == EventNop {
+			continue
+		}
+		p := make([]byte, len(ev.Payload))
+		copy(p, ev.Payload)
+		s.retained = append(s.retained, Event{Type: ev.Type, Payload: p})
+	}
+}
+
+// Sequence reports the logical log length: the sequence number the next
+// retained event will get. Zero when retention is disabled.
+func (s *Store) Sequence() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.retained))
+}
+
+// EventsFrom returns the retained events at sequence numbers [from, end)
+// plus the log end. The slice headers are copies; payloads alias the
+// retained log, which is append-only, so callers may read them without
+// holding any lock. A from beyond the log end reports ok=false — the
+// caller's cursor does not exist in this log incarnation and it must
+// resynchronize with a reset segment.
+func (s *Store) EventsFrom(from uint64) (evs []Event, end uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end = uint64(len(s.retained))
+	if from > end {
+		return nil, end, false
+	}
+	evs = make([]Event, end-from)
+	copy(evs, s.retained[from:])
+	return evs, end, true
+}

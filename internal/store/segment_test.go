@@ -1,0 +1,94 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestRetainCursor(t *testing.T) {
+	dir := t.TempDir()
+	s, evs, err := Open(dir, Options{Retain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 || s.Sequence() != 0 {
+		t.Fatalf("fresh store: %d events, seq %d", len(evs), s.Sequence())
+	}
+
+	payload := []byte("mutable")
+	if err := s.Append(Event{Type: EventUpload, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	payload[0] = 'X' // caller reuses its buffer; the log must hold a copy
+	if err := s.AppendBatch([]Event{
+		{Type: EventRound, Payload: []byte("r1")},
+		{Type: EventNop}, // probes are not state: excluded from the log
+		{Type: EventRound, Payload: []byte("r2")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Sequence(); got != 3 {
+		t.Fatalf("Sequence = %d, want 3 (Nop excluded)", got)
+	}
+	all, end, ok := s.EventsFrom(0)
+	if !ok || end != 3 || len(all) != 3 {
+		t.Fatalf("EventsFrom(0) = %d events, end %d, ok %v", len(all), end, ok)
+	}
+	if !bytes.Equal(all[0].Payload, []byte("mutable")) {
+		t.Fatalf("retained payload aliased the caller buffer: %q", all[0].Payload)
+	}
+	if all[1].Type != EventRound || !bytes.Equal(all[2].Payload, []byte("r2")) {
+		t.Fatalf("retained order wrong: %+v", all)
+	}
+
+	tail, end, ok := s.EventsFrom(2)
+	if !ok || end != 3 || len(tail) != 1 || !bytes.Equal(tail[0].Payload, []byte("r2")) {
+		t.Fatalf("EventsFrom(2) = %+v end %d ok %v", tail, end, ok)
+	}
+	if _, _, ok := s.EventsFrom(4); ok {
+		t.Fatal("cursor beyond the log end reported ok")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetainSeedsFromReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(Event{Type: EventUpload, Payload: []byte(fmt.Sprintf("u%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(Event{Type: EventNop}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Sequence(); got != 0 {
+		t.Fatalf("retention disabled but Sequence = %d", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, evs, err := Open(dir, Options{Retain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(evs) != 5 { // replay reports everything, including the Nop
+		t.Fatalf("replayed %d events, want 5", len(evs))
+	}
+	if got := s2.Sequence(); got != 4 {
+		t.Fatalf("Sequence after replay = %d, want 4 (Nop excluded)", got)
+	}
+	all, _, ok := s2.EventsFrom(0)
+	if !ok || len(all) != 4 || !bytes.Equal(all[3].Payload, []byte("u3")) {
+		t.Fatalf("EventsFrom(0) after replay = %+v ok %v", all, ok)
+	}
+}

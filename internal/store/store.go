@@ -116,6 +116,12 @@ type Options struct {
 	// Faults injects failures at the Fault* sites above for resilience
 	// testing. Nil (the production default) disables injection entirely.
 	Faults *faults.Injector
+	// Retain keeps every state-bearing event (replayed and appended, Nops
+	// excluded) in memory as the store's logical event log, exposed through
+	// Sequence and EventsFrom. Replication leaders enable it to ship WAL
+	// segments from any cursor position; it is unbounded, sized by the
+	// compaction policy of the layer above.
+	Retain bool
 }
 
 // Store is a durable event log rooted at one data directory. All methods
@@ -131,6 +137,8 @@ type Store struct {
 	snapSeq      uint64
 	lastSnapshot time.Time
 	closed       bool
+	// retained is the logical event log (Options.Retain); see EventsFrom.
+	retained []Event
 }
 
 // Metrics is a point-in-time summary for observability endpoints.
@@ -177,6 +185,9 @@ func Open(dir string, opts Options) (*Store, []Event, error) {
 	}
 	events = append(events, walEvents...)
 	s.opts.Obs.ReplayEvents.Add(int64(len(events)))
+	if opts.Retain {
+		s.retain(events)
+	}
 
 	s.wal, err = os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -377,6 +388,9 @@ func (s *Store) AppendBatch(evs []Event) error {
 	}
 	s.walSize += int64(len(rec))
 	s.walEvents += int64(len(evs))
+	if s.opts.Retain {
+		s.retain(evs)
+	}
 	if s.opts.Obs.AppendSeconds != nil {
 		s.opts.Obs.AppendSeconds.ObserveSince(t0)
 		s.opts.Obs.AppendBytes.Observe(float64(len(rec)))

@@ -1,0 +1,156 @@
+// Command benchdiff is the check.sh performance-regression gate: it re-runs
+// the pinned hot-path benchmarks (upload ingest, binary predict, flight
+// record), compares each ns/op against the newest BENCH_*.json that records
+// that benchmark, and fails when any pinned path regresses by more than the
+// threshold. BENCH files are written deliberately (a PR that changes the
+// performance story re-baselines by committing a new one), so the gate
+// catches the accidental regressions — an alloc snuck into an ingest loop —
+// without flagging intentional trade-offs.
+//
+// Usage: benchdiff [-threshold 0.20] [-dir .] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pins are the guarded hot paths. Each entry names one benchmark exactly as
+// BENCH_*.json records it, the package that owns it, and the -bench
+// expression that runs it (and only it).
+var pins = []struct {
+	name string // name in BENCH_*.json / bench output (no -procs suffix)
+	pkg  string
+	expr string
+}{
+	{"BenchmarkServerUploadIngest", "./internal/server/", "^BenchmarkServerUploadIngest$"},
+	{"BenchmarkServerPredict/codec=binary", "./internal/server/", "^BenchmarkServerPredict$/^codec=binary$"},
+	{"BenchmarkFlightRecord", "./internal/flight/", "^BenchmarkFlightRecord$"},
+}
+
+type benchRecord struct {
+	Name string  `json:"name"`
+	NsOp float64 `json:"ns_op"`
+}
+
+type benchFile struct {
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// baselines scans BENCH_*.json newest-first (by the numeric suffix) and
+// returns, for every pinned benchmark, the most recent recorded ns/op.
+func baselines(dir string) (map[string]float64, map[string]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, nil, err
+	}
+	num := regexp.MustCompile(`BENCH_(\d+)\.json$`)
+	sort.Slice(files, func(i, j int) bool { // newest (highest number) first
+		mi, mj := num.FindStringSubmatch(files[i]), num.FindStringSubmatch(files[j])
+		if mi == nil || mj == nil {
+			return files[i] > files[j]
+		}
+		ni, _ := strconv.Atoi(mi[1])
+		nj, _ := strconv.Atoi(mj[1])
+		return ni > nj
+	})
+	base := make(map[string]float64)
+	src := make(map[string]string)
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		var bf benchFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			continue // not every BENCH file is a benchmark table (e.g. load reports)
+		}
+		for _, b := range bf.Benchmarks {
+			if _, seen := base[b.Name]; !seen && b.NsOp > 0 {
+				base[b.Name] = b.NsOp
+				src[b.Name] = filepath.Base(f)
+			}
+		}
+	}
+	return base, src, nil
+}
+
+// nsOpLine matches one benchmark result line and captures name and ns/op.
+var nsOpLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// runPin executes one pinned benchmark count times and returns the minimum
+// measured ns/op: on shared CI hardware the minimum is the least-noise
+// estimator (interference only ever slows a run down), so the gate trips on
+// real regressions, not on a noisy neighbour.
+func runPin(pkg, expr, benchtime string, count int) (float64, error) {
+	cmd := exec.Command("go", "test", "-run=NONE", "-bench="+expr,
+		"-benchtime="+benchtime, "-count="+strconv.Itoa(count), pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return 0, fmt.Errorf("go test -bench %s %s: %v\n%s", expr, pkg, err, out)
+	}
+	best := 0.0
+	for _, line := range strings.Split(string(out), "\n") {
+		if m := nsOpLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			v, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || v < best {
+				best = v
+			}
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("no ns/op line in output of %s %s:\n%s", expr, pkg, out)
+	}
+	return best, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "fail when ns/op regresses by more than this fraction")
+	dir := flag.String("dir", ".", "repository root holding BENCH_*.json baselines")
+	benchtime := flag.String("benchtime", "1s", "-benchtime per pinned benchmark")
+	count := flag.Int("count", 3, "runs per benchmark; the minimum ns/op is compared")
+	flag.Parse()
+
+	base, src, err := baselines(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	for _, p := range pins {
+		want, ok := base[p.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json baseline records %s\n", p.name)
+			os.Exit(1)
+		}
+		got, err := runPin(p.pkg, p.expr, *benchtime, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		delta := (got - want) / want
+		verdict := "ok"
+		if delta > *threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %12.1f ns/op  baseline %12.1f (%s)  %+6.1f%%  %s\n",
+			p.name, got, want, src[p.name], delta*100, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: pinned hot path regressed more than %.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -49,7 +49,7 @@ echo "== zero-alloc pin (flight recorder steady state)"
 go test -run=TestRecordSteadyStateZeroAlloc -count=1 -v ./internal/flight/ | grep -E 'PASS|FAIL|allocates'
 
 echo "== fuzz smoke (wire-protocol decoders, 3s each)"
-for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult FuzzRoundUpdate FuzzScoresSnapshot FuzzFlightEvents; do
+for tgt in FuzzReadUpload FuzzParseFrame FuzzPredictRequest FuzzTraceResult FuzzRoundUpdate FuzzScoresSnapshot FuzzFlightEvents FuzzWALSegment; do
     go test -run=NONE -fuzz="^${tgt}\$" -fuzztime=3s ./internal/protocol/ | tail -1
 done
 
@@ -64,6 +64,9 @@ go test -run=NONE -bench='BenchmarkRoundIngest|BenchmarkIncrementalScores' -benc
     ./internal/rounds/
 go test -run=NONE -bench='BenchmarkFlightRecord' -benchtime=1x \
     ./internal/flight/
+
+echo "== benchdiff (pinned hot paths vs newest BENCH_*.json, >20% ns/op regression fails)"
+go run ./scripts/benchdiff
 
 echo "== observability smoke (boot ctflsrv, scrape /metrics, graceful drain)"
 tmpbin="$(mktemp -d)"
