@@ -49,7 +49,7 @@ func run(args []string) error {
 		return cmdDatasets()
 	case "run":
 		if len(args) < 2 {
-			return fmt.Errorf("run: missing experiment name (table2|fig4|fig5|fig6|fig7|tablev|ablation|all)")
+			return fmt.Errorf("run: missing experiment name (table2|fig4|fig5|fig6|fig7|tablev|ablation|quality|defense|all)")
 		}
 		return cmdRun(args[1], args[2:])
 	case "bench":
@@ -68,7 +68,7 @@ func usage() {
 commands:
   ctfl datasets             list benchmark datasets
   ctfl run <experiment>     table2 | fig4 | fig5 | fig6 | fig7 | tablev |
-                            ablation | quality | all
+                            ablation | quality | defense | all
   ctfl bench                run the hot-path benchmarks and emit a JSON
                             report (-before <saved output> for speedups,
                             -o BENCH_1.json to persist)
@@ -187,6 +187,8 @@ func cmdRun(name string, args []string) error {
 		return runAblation(rf)
 	case "quality":
 		return runQuality(rf)
+	case "defense":
+		return runDefense(rf)
 	case "all":
 		for _, fn := range []func() error{
 			func() error { return runTable2(rf) },
@@ -264,6 +266,25 @@ func runQuality(rf *runFlags) error {
 			return err
 		}
 		res, err := experiments.RunQuality(s)
+		if err != nil {
+			return err
+		}
+		res.Render(os.Stdout)
+		fmt.Println()
+	}
+	return nil
+}
+
+func runDefense(rf *runFlags) error {
+	for _, ds := range rf.datasets() {
+		// Skew-sample keeps honest participants' data comparable, so the
+		// sweep's honest-gated column isolates the gate's false positives
+		// instead of penalizing legitimately skewed clients.
+		s, err := experiments.Materialize(rf.workload(ds, false))
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunDefense(s, experiments.DefenseConfig{})
 		if err != nil {
 			return err
 		}

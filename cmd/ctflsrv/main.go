@@ -9,6 +9,7 @@
 //	        [-retry-after 1s] [-read-timeout 5m] [-write-timeout 10m]
 //	        [-idle-timeout 2m] [-round-epsilon 0.001] [-round-inner-epsilon 0]
 //	        [-round-perms 0] [-round-seed 1] [-round-workers 0]
+//	        [-gate-threshold T] [-gate-warmup 2] [-gate-hysteresis 0.02]
 //	        [-flight-size 1024] [-flight-tail 256] [-slo-interval 5s]
 //	        [-slo-latency-bound 0.25]
 //	        [-cluster-self URL] [-cluster-peers URL,URL,...]
@@ -70,6 +71,7 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -80,6 +82,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/rounds"
 	"repro/internal/server"
 )
 
@@ -117,6 +120,9 @@ func main() {
 	roundPerms := flag.Int("round-perms", 0, "permutation samples per streamed round (0 = engine default)")
 	roundSeed := flag.Int64("round-seed", 1, "seed for the streaming valuation sampler")
 	roundWorkers := flag.Int("round-workers", 0, "coalition-evaluation workers per streamed round (0 = engine default)")
+	gateThreshold := flag.Float64("gate-threshold", math.NaN(), "contribution-gate score threshold (ContAvg defense; unset disables gating)")
+	gateWarmup := flag.Int("gate-warmup", 2, "applied rounds before gate decisions begin")
+	gateHysteresis := flag.Float64("gate-hysteresis", 0.02, "readmission margin above -gate-threshold")
 	flightSize := flag.Int("flight-size", 1024, "flight recorder routine-ring capacity (events)")
 	flightTail := flag.Int("flight-tail", 256, "flight recorder pinned-tail capacity (interesting events)")
 	sloInterval := flag.Duration("slo-interval", 5*time.Second, "background SLO burn-rate evaluation cadence (negative disables)")
@@ -138,6 +144,18 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	// The gate threshold has no inert sentinel inside its domain — scores
+	// start at 0 and go negative, so 0 is a meaningful threshold. NaN (the
+	// flag default) is the "disabled" marker.
+	var gate *rounds.GateConfig
+	if !math.IsNaN(*gateThreshold) {
+		gate = &rounds.GateConfig{
+			Threshold:  *gateThreshold,
+			Warmup:     *gateWarmup,
+			Hysteresis: *gateHysteresis,
+		}
+	}
+
 	svc, err := server.NewWithOptions(server.Options{
 		DataDir:           *dataDir,
 		Workers:           *workers,
@@ -156,6 +174,7 @@ func main() {
 		RoundPermutations: *roundPerms,
 		RoundSeed:         *roundSeed,
 		RoundWorkers:      *roundWorkers,
+		RoundGate:         gate,
 		FlightSize:        *flightSize,
 		FlightTailSize:    *flightTail,
 		SLOInterval:       *sloInterval,

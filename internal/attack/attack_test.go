@@ -1,0 +1,332 @@
+package attack
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rounds"
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// fixture is a five-participant tic-tac-toe federation with equal-sized,
+// clean local datasets — every distortion the matrix measures is then
+// attributable to the attack under test, not to baseline quality skew.
+type fixture struct {
+	cfg     Config
+	trainer *fl.Trainer
+}
+
+var (
+	fixOnce sync.Once
+	fixVal  *fixture
+	fixErr  error
+)
+
+func buildFixture() (*fixture, error) {
+	tab := dataset.TicTacToe()
+	r := stats.NewRNG(23)
+	train, test := tab.Split(r, 0.25)
+	enc, err := dataset.NewEncoder(tab.Schema, 4, r)
+	if err != nil {
+		return nil, err
+	}
+	perm := r.Perm(train.Len())
+	const n = 5
+	parts := make([]*fl.Participant, n)
+	per := train.Len() / n
+	for i := 0; i < n; i++ {
+		lo, hi := i*per, (i+1)*per
+		if i == n-1 {
+			hi = train.Len()
+		}
+		parts[i] = &fl.Participant{ID: i, Name: string(rune('A' + i)), Data: train.Subset(perm[lo:hi])}
+	}
+	model := nn.Config{Hidden: []int{16}, Seed: 7, BatchSize: 128}
+	trainer := fl.NewTrainer(enc, fl.TrainConfig{
+		Rounds: 2, LocalEpochs: 3, Parallel: true, Model: model, Seed: 23,
+	})
+	return &fixture{
+		cfg: Config{
+			Enc:         enc,
+			Parts:       parts,
+			Test:        test,
+			Model:       model,
+			Rounds:      8,
+			LocalEpochs: 3,
+			Seed:        23,
+			Attackers:   []int{4},
+		},
+		trainer: trainer,
+	}, nil
+}
+
+func fix(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() { fixVal, fixErr = buildFixture() })
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixVal
+}
+
+// matricesEqual compares two matrices bit-for-bit.
+func matricesEqual(t *testing.T, a, b *Matrix) {
+	t.Helper()
+	if math.Float64bits(a.CleanAcc) != math.Float64bits(b.CleanAcc) {
+		t.Fatalf("clean accuracy differs: %v vs %v", a.CleanAcc, b.CleanAcc)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca.Attack != cb.Attack || ca.Scheme != cb.Scheme || ca.Intensity != cb.Intensity {
+			t.Fatalf("cell %d identity differs: %+v vs %+v", i, ca, cb)
+		}
+		if ca.DetectionRound != cb.DetectionRound || ca.MaxRankDisplacement != cb.MaxRankDisplacement {
+			t.Fatalf("cell %d (%s/%s) discrete metrics differ", i, ca.Attack, ca.Scheme)
+		}
+		pairs := [][2]float64{
+			{ca.AttackerDelta, cb.AttackerDelta},
+			{ca.AttackerChange, cb.AttackerChange},
+			{ca.HonestSpearman, cb.HonestSpearman},
+			{ca.HonestKendall, cb.HonestKendall},
+			{ca.FinalAcc, cb.FinalAcc},
+		}
+		for _, p := range pairs {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				t.Fatalf("cell %d (%s/%s) metric differs: %v vs %v", i, ca.Attack, ca.Scheme, p[0], p[1])
+			}
+		}
+		for j := range ca.Attacked {
+			if math.Float64bits(ca.Attacked[j]) != math.Float64bits(cb.Attacked[j]) {
+				t.Fatalf("cell %d (%s/%s) score %d differs", i, ca.Attack, ca.Scheme, j)
+			}
+		}
+	}
+}
+
+// TestMatrixAcrossWorkers runs one matrix at two worker counts and pins
+// (a) bit-identical results — the determinism contract — and (b) the
+// structural findings: the batch path is blind to update-space attacks
+// while the streaming path detects them, and data poisoning distorts both.
+func TestMatrixAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	f := fix(t)
+	cfg := f.cfg
+	cfg.Attackers = []int{3, 4}
+	cfg.Specs = []Spec{LabelFlip(), FreeRide(fl.FreeRideZero), Collusion()}
+	cfg.Intensities = []float64{0.6}
+	cfg.Schemes = []valuation.Scheme{&valuation.Individual{Trainer: f.trainer}}
+
+	cfg.Workers = 1
+	m1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	m3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, m1, m3)
+
+	cells := make(map[string]Cell, len(m1.Cells))
+	for _, c := range m1.Cells {
+		cells[c.Attack+"/"+c.Scheme] = c
+	}
+
+	// Batch blindness: a pure update-space attack leaves the batch
+	// estimator's scores bit-identical to the clean run.
+	for _, key := range []string{"free-ride-zero/Individual", "collusion/Individual"} {
+		c, ok := cells[key]
+		if !ok {
+			t.Fatalf("missing cell %s", key)
+		}
+		for i := range c.Clean {
+			if math.Float64bits(c.Clean[i]) != math.Float64bits(c.Attacked[i]) {
+				t.Fatalf("%s: batch path saw an update-space attack (score %d moved)", key, i)
+			}
+		}
+		if c.AttackerChange != 0 || c.DetectionRound != -1 {
+			t.Fatalf("%s: change=%v detection=%d, want 0 and -1", key, c.AttackerChange, c.DetectionRound)
+		}
+	}
+
+	// The streaming path scores the submitted updates, so the same
+	// attacks demote the attackers there.
+	for _, key := range []string{"free-ride-zero/" + StreamScheme, "collusion/" + StreamScheme} {
+		c := cells[key]
+		if c.AttackerDelta >= 0 {
+			t.Fatalf("%s: attacker mean score delta %v, want negative", key, c.AttackerDelta)
+		}
+	}
+
+	// Label flipping at 0.6 is visible on both paths.
+	if c := cells["label-flip/Individual"]; c.AttackerDelta >= 0 {
+		t.Fatalf("label-flip invisible to batch path: delta %v", c.AttackerDelta)
+	}
+	if c := cells["label-flip/"+StreamScheme]; c.AttackerDelta >= 0 {
+		t.Fatalf("label-flip invisible to streaming path: delta %v", c.AttackerDelta)
+	}
+
+	var sb strings.Builder
+	m1.Render(&sb)
+	if !strings.Contains(sb.String(), "label-flip") || !strings.Contains(sb.String(), StreamScheme) {
+		t.Fatalf("render missing cells:\n%s", sb.String())
+	}
+	if s := m1.Sorted(); len(s) == len(m1.Cells) {
+		for i := 1; i < len(s); i++ {
+			if s[i-1].AttackerDelta > s[i].AttackerDelta {
+				t.Fatal("Sorted not ordered by attacker delta")
+			}
+		}
+	}
+}
+
+// TestDefenseEndToEnd is the acceptance scenario: under a seeded
+// label-flip + scaling attack, ungated FedAvg degrades measurably; the
+// contribution gate recovers at least 90% of clean accuracy, demotes the
+// attacker below every honest participant, and the whole run is
+// bit-identically reproducible from the seed at any worker count.
+func TestDefenseEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	f := fix(t)
+	cfg := f.cfg
+	const attacker = 4
+
+	clean, err := RunFederation(cfg, cfg.Parts, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, tampers := Apply(cfg, LabelFlipAndScaling(), 8, 99)
+	ungated, err := RunFederation(cfg, parts, tampers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ungated.FinalAcc > clean.FinalAcc-0.05 {
+		t.Fatalf("attack did not degrade ungated FedAvg: clean %.3f, attacked %.3f", clean.FinalAcc, ungated.FinalAcc)
+	}
+	// Even without the gate, the streaming scores detect the attacker.
+	if det := detectionRound(ungated.Trajectory, []int{attacker}, len(cfg.Parts)); det < 0 {
+		t.Fatal("ungated streaming scores never separated the attacker")
+	}
+
+	gate := &rounds.GateConfig{Threshold: -0.03, Warmup: 1, Hysteresis: 0.02}
+	gated, err := RunFederation(cfg, parts, tampers, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated.FinalAcc < 0.9*clean.FinalAcc {
+		t.Fatalf("gate recovered %.3f of clean %.3f, want >= 90%%", gated.FinalAcc, clean.FinalAcc)
+	}
+	if gated.FinalAcc <= ungated.FinalAcc {
+		t.Fatalf("gate did not improve on ungated: %.3f vs %.3f", gated.FinalAcc, ungated.FinalAcc)
+	}
+	for i, s := range gated.Scores {
+		if i != attacker && s <= gated.Scores[attacker] {
+			t.Fatalf("honest participant %d (%.4f) not above attacker (%.4f)", i, s, gated.Scores[attacker])
+		}
+	}
+	sawGate := false
+	for _, ev := range gated.GateEvents {
+		if ev.Participant == attacker && ev.Gated {
+			sawGate = true
+		}
+	}
+	if !sawGate {
+		t.Fatalf("no gate event for the attacker: %v", gated.GateEvents)
+	}
+	// The gate actually excluded the attacker from aggregation.
+	sawExcluded := false
+	for _, rs := range gated.Result.Rounds {
+		for _, id := range rs.Gated {
+			if id == attacker {
+				sawExcluded = true
+			}
+		}
+	}
+	if !sawExcluded {
+		t.Fatal("attacker never excluded from aggregation")
+	}
+
+	// Bit-identical reproducibility at a different worker count.
+	cfg2 := cfg
+	cfg2.Workers = 3
+	gated2, err := RunFederation(cfg2, parts, tampers, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(gated.FinalAcc) != math.Float64bits(gated2.FinalAcc) {
+		t.Fatalf("final accuracy differs across worker counts: %v vs %v", gated.FinalAcc, gated2.FinalAcc)
+	}
+	for i := range gated.Scores {
+		if math.Float64bits(gated.Scores[i]) != math.Float64bits(gated2.Scores[i]) {
+			t.Fatalf("score %d differs across worker counts", i)
+		}
+	}
+	if len(gated.GateEvents) != len(gated2.GateEvents) {
+		t.Fatalf("gate logs differ across worker counts: %v vs %v", gated.GateEvents, gated2.GateEvents)
+	}
+	for i := range gated.GateEvents {
+		if gated.GateEvents[i] != gated2.GateEvents[i] {
+			t.Fatalf("gate event %d differs across worker counts", i)
+		}
+	}
+	if len(gated.Trajectory) != len(gated2.Trajectory) {
+		t.Fatal("trajectory lengths differ across worker counts")
+	}
+	for r := range gated.Trajectory {
+		for i := range gated.Trajectory[r] {
+			if math.Float64bits(gated.Trajectory[r][i]) != math.Float64bits(gated2.Trajectory[r][i]) {
+				t.Fatalf("trajectory round %d score %d differs across worker counts", r, i)
+			}
+		}
+	}
+}
+
+func TestDetectionRound(t *testing.T) {
+	att := []int{2}
+	cases := []struct {
+		traj [][]float64
+		want int
+	}{
+		// Separated from round 1 through the end.
+		{[][]float64{{0.1, 0.2, 0.3}, {0.2, 0.3, 0.1}, {0.3, 0.4, 0}}, 1},
+		// Separation at round 0 that does not persist, re-established at 2.
+		{[][]float64{{0.1, 0.2, -0.1}, {0.2, 0.3, 0.4}, {0.3, 0.4, 0.1}}, 2},
+		// Never separated (tie is not strict separation).
+		{[][]float64{{0.1, 0.2, 0.1}}, -1},
+		{nil, -1},
+	}
+	for i, c := range cases {
+		if got := detectionRound(c.traj, att, 3); got != c.want {
+			t.Fatalf("case %d: detectionRound = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := relChange(0.2, 0.1); got != -0.5 {
+		t.Fatalf("relChange(0.2, 0.1) = %v", got)
+	}
+	if got := relChange(0, 0.3); got != 0.3 {
+		t.Fatalf("near-zero baseline: %v", got)
+	}
+	if got := relChange(0.01, 10); got != 5 {
+		t.Fatalf("clip: %v", got)
+	}
+	if got := relChange(-0.1, -0.2); got != -1 {
+		t.Fatalf("negative baseline: %v", got)
+	}
+}

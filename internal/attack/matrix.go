@@ -1,0 +1,404 @@
+package attack
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/fedsim"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/rounds"
+	"repro/internal/stats"
+	"repro/internal/valuation"
+)
+
+// Config parameterizes one attack matrix. Enc, Parts and Test are
+// required; Specs × Intensities × (Schemes + the streaming path) defines
+// the cell grid.
+type Config struct {
+	Enc   *dataset.Encoder
+	Parts []*fl.Participant
+	Test  *dataset.Table
+	// Model configures the federation's shared network.
+	Model nn.Config
+	// Rounds / LocalEpochs configure the simulated federation (fedsim
+	// defaults apply when zero).
+	Rounds      int
+	LocalEpochs int
+	// Seed drives everything: data poisoning, tamper noise, FedAvg
+	// ordering, permutation sampling.
+	Seed int64
+	// Attackers lists the participant IDs under adversarial control.
+	Attackers []int
+	// Specs and Intensities span the attack grid.
+	Specs       []Spec
+	Intensities []float64
+	// Schemes are the batch valuation estimators to push each cell
+	// through (e.g. valuation.Individual, core.Scheme). May be empty to
+	// run the streaming path alone.
+	Schemes []valuation.Scheme
+	// Workers bounds the streaming engine's concurrent coalition
+	// evaluations; the matrix is bit-identical at any value.
+	Workers int
+	// Permutations per streamed round; 0 uses the engine default.
+	Permutations int
+}
+
+// StreamScheme is the scheme label of the streaming-path cells.
+const StreamScheme = "streaming"
+
+// Cell is one (attack, intensity, scheme) measurement.
+type Cell struct {
+	Attack    string
+	Intensity float64
+	Scheme    string
+	// Clean and Attacked are the per-participant scores of the unattacked
+	// and attacked runs, indexed by participant id.
+	Clean    []float64
+	Attacked []float64
+	// AttackerDelta is the mean absolute score change over the attackers;
+	// AttackerChange the mean relative change ((after−before)/|before|,
+	// clipped to ±5, change magnitude itself for a near-zero baseline).
+	AttackerDelta  float64
+	AttackerChange float64
+	// HonestSpearman / HonestKendall correlate the honest participants'
+	// clean and attacked scores; 1 means the attack left honest ranking
+	// untouched.
+	HonestSpearman float64
+	HonestKendall  float64
+	// MaxRankDisplacement is the largest rank shift (over the full
+	// leaderboard) suffered by any honest participant.
+	MaxRankDisplacement int
+	// DetectionRound is the first streamed round from which every
+	// attacker scores strictly below every honest participant through the
+	// end of the run; -1 means never detected. Always -1 for batch
+	// schemes — they never see uploaded parameters, so update-space
+	// attacks are structurally invisible to them.
+	DetectionRound int
+	// FinalAcc is the attacked federation's final test accuracy
+	// (streaming cells only; batch schemes train no federation).
+	FinalAcc float64
+}
+
+// Matrix is a completed attack-matrix run.
+type Matrix struct {
+	Cells []Cell
+	// CleanAcc is the unattacked federation's test accuracy — the
+	// baseline the streaming cells' FinalAcc degrades from.
+	CleanAcc float64
+}
+
+// FederationRun bundles one simulated federation with its streaming
+// valuation: the fedsim result, the engine's final scores (indexed by
+// participant id), the cumulative score trajectory after each applied
+// outcome, the gate transition log, and the final model's test accuracy.
+type FederationRun struct {
+	Result     *fedsim.Result
+	Scores     []float64
+	Trajectory [][]float64
+	GateEvents []rounds.GateEvent
+	FinalAcc   float64
+}
+
+// Run executes the full matrix. Clean baselines (one federation, one
+// batch-score vector per scheme) are computed once and shared across
+// cells.
+func Run(cfg Config) (*Matrix, error) {
+	if len(cfg.Attackers) == 0 {
+		return nil, fmt.Errorf("attack: no attackers configured")
+	}
+	clean, err := RunFederation(cfg, cfg.Parts, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("attack: clean federation: %w", err)
+	}
+	cleanBatch := make(map[string][]float64, len(cfg.Schemes))
+	for _, s := range cfg.Schemes {
+		sc, err := s.Scores(cfg.Parts, cfg.Test)
+		if err != nil {
+			return nil, fmt.Errorf("attack: clean %s: %w", s.Name(), err)
+		}
+		cleanBatch[s.Name()] = sc
+	}
+
+	m := &Matrix{CleanAcc: clean.FinalAcc}
+	for si, spec := range cfg.Specs {
+		for ii, intensity := range cfg.Intensities {
+			seed := cellSeed(cfg.Seed, si, ii)
+			parts, tampers := Apply(cfg, spec, intensity, seed)
+
+			for _, s := range cfg.Schemes {
+				attacked, err := s.Scores(parts, cfg.Test)
+				if err != nil {
+					return nil, fmt.Errorf("attack: %s/%.2f/%s: %w", spec.Name, intensity, s.Name(), err)
+				}
+				cell := newCell(spec.Name, intensity, s.Name(), cfg.Attackers, cleanBatch[s.Name()], attacked)
+				cell.DetectionRound = -1
+				m.Cells = append(m.Cells, cell)
+			}
+
+			run, err := RunFederation(cfg, parts, tampers, nil)
+			if err != nil {
+				return nil, fmt.Errorf("attack: %s/%.2f/stream: %w", spec.Name, intensity, err)
+			}
+			cell := newCell(spec.Name, intensity, StreamScheme, cfg.Attackers, clean.Scores, run.Scores)
+			cell.DetectionRound = detectionRound(run.Trajectory, cfg.Attackers, len(cfg.Parts))
+			cell.FinalAcc = run.FinalAcc
+			m.Cells = append(m.Cells, cell)
+		}
+	}
+	return m, nil
+}
+
+// Apply materializes one cell's attack: the (possibly poisoned)
+// participant list and the tamper map for fedsim. Honest participants are
+// shared with cfg.Parts; attacked ones are fresh copies.
+func Apply(cfg Config, spec Spec, intensity float64, seed int64) ([]*fl.Participant, map[int]fl.UpdateTamper) {
+	parts := cfg.Parts
+	if spec.Data != nil {
+		parts = spec.Data(parts, cfg.Attackers, intensity, rand.New(rand.NewSource(seed)))
+	}
+	var tampers map[int]fl.UpdateTamper
+	if spec.Update != nil {
+		tampers = spec.Update(cfg.Attackers, intensity, seed+1)
+	}
+	return parts, tampers
+}
+
+// RunFederation simulates one federation over parts with the given
+// update tampers, streaming every round through a fresh rounds.Engine via
+// the ContAvg selector. A nil gate scores the stream without ever
+// excluding anyone (the ungated baseline); a non-nil gate closes the
+// ContAvg defense loop.
+func RunFederation(cfg Config, parts []*fl.Participant, tampers map[int]fl.UpdateTamper, gate *rounds.GateConfig) (*FederationRun, error) {
+	model, err := nn.New(cfg.Enc.Width(), cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	evalX, evalY := cfg.Enc.EncodeTable(cfg.Test)
+	eng, err := rounds.New(rounds.Config{
+		Model: model,
+		EvalX: evalX,
+		EvalY: evalY,
+		// Between-round truncation off: every round is scored, so the
+		// detection-latency trajectory has one entry per round.
+		Epsilon:      -1,
+		Permutations: cfg.Permutations,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+		Gate:         gate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := fedsim.Run(cfg.Enc, parts, cfg.Test, fedsim.Config{
+		Rounds:      cfg.Rounds,
+		LocalEpochs: cfg.LocalEpochs,
+		Model:       cfg.Model,
+		Seed:        cfg.Seed,
+		Tampers:     tampers,
+		Selector:    &rounds.ContAvg{Engine: eng},
+	})
+	if err != nil {
+		return nil, err
+	}
+	traj, err := trajectory(eng, len(cfg.Parts))
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, len(cfg.Parts))
+	copy(scores, eng.Snapshot().Scores)
+	ok := res.Model.CountCorrect(evalX, evalY)
+	return &FederationRun{
+		Result:     res,
+		Scores:     scores,
+		Trajectory: traj,
+		GateEvents: eng.GateEvents(),
+		FinalAcc:   float64(ok) / float64(len(evalX)),
+	}, nil
+}
+
+// newCell computes the distortion metrics between a clean and an attacked
+// score vector.
+func newCell(attack string, intensity float64, scheme string, attackers []int, clean, attacked []float64) Cell {
+	n := len(clean)
+	if len(attacked) > n {
+		n = len(attacked)
+	}
+	cl, at := padTo(clean, n), padTo(attacked, n)
+	isAtt := make([]bool, n)
+	for _, id := range attackers {
+		if id >= 0 && id < n {
+			isAtt[id] = true
+		}
+	}
+
+	cell := Cell{Attack: attack, Intensity: intensity, Scheme: scheme, Clean: cl, Attacked: at}
+	for _, id := range attackers {
+		cell.AttackerDelta += at[id] - cl[id]
+		cell.AttackerChange += relChange(cl[id], at[id])
+	}
+	cell.AttackerDelta /= float64(len(attackers))
+	cell.AttackerChange /= float64(len(attackers))
+
+	var honestClean, honestAttacked []float64
+	rankClean, rankAttacked := rankPositions(cl), rankPositions(at)
+	for i := 0; i < n; i++ {
+		if isAtt[i] {
+			continue
+		}
+		honestClean = append(honestClean, cl[i])
+		honestAttacked = append(honestAttacked, at[i])
+		if d := rankClean[i] - rankAttacked[i]; d > cell.MaxRankDisplacement {
+			cell.MaxRankDisplacement = d
+		} else if -d > cell.MaxRankDisplacement {
+			cell.MaxRankDisplacement = -d
+		}
+	}
+	cell.HonestSpearman = stats.Spearman(honestClean, honestAttacked)
+	cell.HonestKendall = stats.Kendall(honestClean, honestAttacked)
+	return cell
+}
+
+// rankPositions maps participant index → leaderboard position (0 = top
+// score), deterministic under ties.
+func rankPositions(scores []float64) []int {
+	pos := make([]int, len(scores))
+	for rank, idx := range stats.ArgsortDesc(scores) {
+		pos[idx] = rank
+	}
+	return pos
+}
+
+// trajectory replays the engine's applied outcome payloads into the
+// cumulative per-round score trajectory (one row per applied outcome,
+// each row a full n-wide score vector).
+func trajectory(eng *rounds.Engine, n int) ([][]float64, error) {
+	cur := make([]float64, n)
+	var traj [][]float64
+	for _, p := range eng.Payloads() {
+		out, err := rounds.DecodeOutcome(p)
+		if err != nil {
+			return nil, err
+		}
+		if !out.Skipped {
+			for i, id := range out.IDs {
+				if id >= 0 && id < n {
+					cur[id] += out.Deltas[i]
+				}
+			}
+		}
+		row := make([]float64, n)
+		copy(row, cur)
+		traj = append(traj, row)
+	}
+	return traj, nil
+}
+
+// detectionRound returns the first trajectory row from which every
+// attacker scores strictly below every honest participant through the end
+// of the run, or -1 if that never stabilizes.
+func detectionRound(traj [][]float64, attackers []int, n int) int {
+	isAtt := make([]bool, n)
+	for _, id := range attackers {
+		if id >= 0 && id < n {
+			isAtt[id] = true
+		}
+	}
+	det := -1
+	for t := len(traj) - 1; t >= 0; t-- {
+		if !separated(traj[t], isAtt) {
+			break
+		}
+		det = t
+	}
+	return det
+}
+
+// separated reports whether every attacker score is strictly below every
+// honest score.
+func separated(scores []float64, isAtt []bool) bool {
+	maxAtt, minHon := 0.0, 0.0
+	haveAtt, haveHon := false, false
+	for i, s := range scores {
+		if isAtt[i] {
+			if !haveAtt || s > maxAtt {
+				maxAtt, haveAtt = s, true
+			}
+		} else if !haveHon || s < minHon {
+			minHon, haveHon = s, true
+		}
+	}
+	return haveAtt && haveHon && maxAtt < minHon
+}
+
+// relChange is (after−before)/|before| clipped to ±5, falling back to the
+// clipped change itself when the baseline is near zero (scores start at 0,
+// so an unclipped ratio against an epsilon baseline would be meaningless).
+func relChange(before, after float64) float64 {
+	const eps = 1e-9
+	den := before
+	if den < 0 {
+		den = -den
+	}
+	if den < eps {
+		return stats.Clip(after-before, -5, 5)
+	}
+	return stats.Clip((after-before)/den, -5, 5)
+}
+
+// padTo returns xs zero-extended to length n.
+func padTo(xs []float64, n int) []float64 {
+	out := make([]float64, n)
+	copy(out, xs)
+	return out
+}
+
+// cellSeed derives one cell's seed from the matrix seed and grid position
+// (SplitMix64-style), so inserting a spec or intensity does not reshuffle
+// the other cells' randomness.
+func cellSeed(seed int64, spec, intensity int) int64 {
+	z := uint64(seed) + uint64(spec+1)*0x9E3779B97F4A7C15 + uint64(intensity+1)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Render prints the matrix as one row per cell, most-distorted first
+// within each attack (cells keep grid order across attacks).
+func (m *Matrix) Render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "attack\tintensity\tscheme\tattacker Δ\trel change\thonest ρ\thonest τ\tmax rank shift\tdetected@\tfinal acc\n")
+	for _, c := range m.Cells {
+		det := "-"
+		if c.Scheme == StreamScheme {
+			if c.DetectionRound >= 0 {
+				det = fmt.Sprintf("r%d", c.DetectionRound)
+			} else {
+				det = "never"
+			}
+		}
+		acc := "-"
+		if c.Scheme == StreamScheme {
+			acc = fmt.Sprintf("%.3f", c.FinalAcc)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%s\t%+.4f\t%+.2f\t%.3f\t%.3f\t%d\t%s\t%s\n",
+			c.Attack, c.Intensity, c.Scheme, c.AttackerDelta, c.AttackerChange,
+			c.HonestSpearman, c.HonestKendall, c.MaxRankDisplacement, det, acc)
+	}
+	fmt.Fprintf(tw, "clean federation accuracy\t%.3f\n", m.CleanAcc)
+	tw.Flush()
+}
+
+// Sorted returns the cells ordered by attacker score suppression
+// (most-negative AttackerDelta first) — the "which attacks does the
+// estimator punish hardest" view.
+func (m *Matrix) Sorted() []Cell {
+	out := make([]Cell, len(m.Cells))
+	copy(out, m.Cells)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AttackerDelta < out[j].AttackerDelta })
+	return out
+}

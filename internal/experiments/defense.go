@@ -1,0 +1,197 @@
+package experiments
+
+// The ContAvg defense trade-off study: under a fixed seeded attack
+// (label-flip + scaling on one participant), sweep the contribution-gate
+// threshold and measure what the defense buys and what it costs. Each
+// threshold answers three questions at once — how much of the clean
+// accuracy does gated aggregation recover, how hard is the attacker's
+// score suppressed, and does the gate ever catch an honest participant in
+// the crossfire. The ungated attacked run and the unattacked run bracket
+// the sweep.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attack"
+	"repro/internal/rounds"
+)
+
+// DefenseConfig parameterizes RunDefense. The zero value runs the default
+// study: one scaling label-flipper, an 8-round federation, and a
+// five-point threshold sweep.
+type DefenseConfig struct {
+	// Rounds / LocalEpochs configure the simulated federation
+	// (defaults 8 and 3 — the streaming engine needs a trajectory, not
+	// the batch path's 2 rounds).
+	Rounds      int
+	LocalEpochs int
+	// Intensity is the attacker's scaling factor (default 8).
+	Intensity float64
+	// Thresholds is the gate sweep (default -0.01 … -0.2).
+	Thresholds []float64
+	// Warmup / Hysteresis are shared across the sweep (defaults 1, 0.02).
+	Warmup     int
+	Hysteresis float64
+}
+
+func (c DefenseConfig) withDefaults() DefenseConfig {
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 3
+	}
+	if c.Intensity == 0 {
+		c.Intensity = 8
+	}
+	if len(c.Thresholds) == 0 {
+		c.Thresholds = []float64{-0.01, -0.03, -0.05, -0.1, -0.2}
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 1
+	}
+	if c.Hysteresis == 0 {
+		c.Hysteresis = 0.02
+	}
+	return c
+}
+
+// DefenseRow is one threshold's outcome.
+type DefenseRow struct {
+	Threshold float64
+	// Acc is the gated run's final test accuracy; Recovery is Acc over
+	// the clean run's accuracy.
+	Acc      float64
+	Recovery float64
+	// AttackerScore and MinHonest summarize the final leaderboard: the
+	// defense worked when the former sits below the latter.
+	AttackerScore float64
+	MinHonest     float64
+	// GatedRounds counts round-participant exclusions; HonestGated counts
+	// how many of them hit honest participants (the gate's false
+	// positives — the hidden cost of an aggressive threshold).
+	GatedRounds int
+	HonestGated int
+}
+
+// DefenseResult is the completed sweep.
+type DefenseResult struct {
+	Setup    *Setup
+	Config   DefenseConfig
+	Attacker int
+	// CleanAcc / UngatedAcc bracket the sweep: the unattacked federation
+	// and the attacked-but-undefended one.
+	CleanAcc   float64
+	UngatedAcc float64
+	// UngatedAttackerScore shows the score signal is there even without
+	// the gate acting on it.
+	UngatedAttackerScore float64
+	Rows                 []DefenseRow
+}
+
+// RunDefense runs the threshold sweep on the setup's federation. The
+// attacker is the last participant; every run derives from the workload
+// seed, so the sweep is reproducible bit-for-bit.
+func RunDefense(s *Setup, cfg DefenseConfig) (*DefenseResult, error) {
+	cfg = cfg.withDefaults()
+	if len(s.Parts) < 2 {
+		return nil, fmt.Errorf("experiments: defense needs at least 2 participants, have %d", len(s.Parts))
+	}
+	attacker := s.Parts[len(s.Parts)-1].ID
+	acfg := attack.Config{
+		Enc:         s.Trainer.Encoder(),
+		Parts:       s.Parts,
+		Test:        s.Test,
+		Model:       s.Trainer.Config().Model,
+		Rounds:      cfg.Rounds,
+		LocalEpochs: cfg.LocalEpochs,
+		Seed:        s.Workload.Seed,
+		Attackers:   []int{attacker},
+	}
+
+	clean, err := attack.RunFederation(acfg, acfg.Parts, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: defense clean run: %w", err)
+	}
+	parts, tampers := attack.Apply(acfg, attack.LabelFlipAndScaling(), cfg.Intensity, s.Workload.Seed+1)
+	ungated, err := attack.RunFederation(acfg, parts, tampers, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: defense ungated run: %w", err)
+	}
+
+	res := &DefenseResult{
+		Setup:                s,
+		Config:               cfg,
+		Attacker:             attacker,
+		CleanAcc:             clean.FinalAcc,
+		UngatedAcc:           ungated.FinalAcc,
+		UngatedAttackerScore: ungated.Scores[attacker],
+	}
+	for _, th := range cfg.Thresholds {
+		gate := &rounds.GateConfig{Threshold: th, Warmup: cfg.Warmup, Hysteresis: cfg.Hysteresis}
+		run, err := attack.RunFederation(acfg, parts, tampers, gate)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: defense threshold %.3f: %w", th, err)
+		}
+		row := DefenseRow{
+			Threshold:     th,
+			Acc:           run.FinalAcc,
+			AttackerScore: run.Scores[attacker],
+		}
+		if clean.FinalAcc > 0 {
+			row.Recovery = run.FinalAcc / clean.FinalAcc
+		}
+		first := true
+		for id, sc := range run.Scores {
+			if id == attacker {
+				continue
+			}
+			if first || sc < row.MinHonest {
+				row.MinHonest = sc
+				first = false
+			}
+		}
+		for _, rs := range run.Result.Rounds {
+			for _, id := range rs.Gated {
+				row.GatedRounds++
+				if id != attacker {
+					row.HonestGated++
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep as one table.
+func (r *DefenseResult) Render(w io.Writer) {
+	t := NewTable(
+		fmt.Sprintf("ContAvg defense sweep — %s, attacker %d, flip+scale ×%.0f",
+			r.Setup.Workload, r.Attacker, r.Config.Intensity),
+		"threshold", "acc", "recovery", "attacker score", "min honest", "gated", "honest gated")
+	t.AddRow("clean", fmt.Sprintf("%.3f", r.CleanAcc), "1.00", "-", "-", "-", "-")
+	t.AddRow("ungated", fmt.Sprintf("%.3f", r.UngatedAcc),
+		fmt.Sprintf("%.2f", safeRatio(r.UngatedAcc, r.CleanAcc)),
+		fmt.Sprintf("%+.3f", r.UngatedAttackerScore), "-", "0", "0")
+	for _, row := range r.Rows {
+		t.AddRow(
+			fmt.Sprintf("%.3f", row.Threshold),
+			fmt.Sprintf("%.3f", row.Acc),
+			fmt.Sprintf("%.2f", row.Recovery),
+			fmt.Sprintf("%+.3f", row.AttackerScore),
+			fmt.Sprintf("%+.3f", row.MinHonest),
+			fmt.Sprintf("%d", row.GatedRounds),
+			fmt.Sprintf("%d", row.HonestGated),
+		)
+	}
+	t.Render(w)
+}
+
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

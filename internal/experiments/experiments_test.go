@@ -468,3 +468,63 @@ func TestSparkline(t *testing.T) {
 		t.Fatalf("flat sparkline = %q", flat)
 	}
 }
+
+func TestRunDefense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	s := tinySetup(t, false)
+	res, err := RunDefense(s, DefenseConfig{
+		Rounds:      6,
+		LocalEpochs: 3,
+		Thresholds:  []float64{-0.03, -0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attacker != s.Parts[len(s.Parts)-1].ID {
+		t.Fatalf("attacker = %d, want the last participant", res.Attacker)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want one per threshold", len(res.Rows))
+	}
+	if res.CleanAcc <= 0 || res.UngatedAcc <= 0 {
+		t.Fatalf("degenerate bracket: clean %.3f ungated %.3f", res.CleanAcc, res.UngatedAcc)
+	}
+	for _, row := range res.Rows {
+		if row.Acc <= 0 || row.Recovery <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+	}
+	// The sweep and its bracket runs must reproduce bit-identically.
+	again, err := RunDefense(s, DefenseConfig{
+		Rounds:      6,
+		LocalEpochs: 3,
+		Thresholds:  []float64{-0.03, -0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(again.CleanAcc) != math.Float64bits(res.CleanAcc) ||
+		math.Float64bits(again.UngatedAcc) != math.Float64bits(res.UngatedAcc) {
+		t.Fatal("defense bracket runs not reproducible from the seed")
+	}
+	for i := range res.Rows {
+		if math.Float64bits(again.Rows[i].Acc) != math.Float64bits(res.Rows[i].Acc) ||
+			math.Float64bits(again.Rows[i].AttackerScore) != math.Float64bits(res.Rows[i].AttackerScore) {
+			t.Fatalf("defense row %d not reproducible", i)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "ContAvg defense sweep") || !strings.Contains(out, "ungated") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+	// Too few participants errors.
+	small := tinySetup(t, false)
+	small.Parts = small.Parts[:1]
+	if _, err := RunDefense(small, DefenseConfig{}); err == nil {
+		t.Fatal("1 participant should error")
+	}
+}

@@ -33,6 +33,34 @@ type Config struct {
 	Model nn.Config
 	// Seed drives dropouts and straggling.
 	Seed int64
+	// Tampers maps participant ID → update-space attack (fl.UpdateTamper)
+	// applied to that client's locally trained parameters before upload.
+	// Unmapped participants upload honestly. Tampers compose with
+	// data-space attacks (the participant list may already carry poisoned
+	// data) — the data attack shapes what the client trains, the tamper
+	// rewrites what it uploads.
+	Tampers map[int]fl.UpdateTamper
+	// Selector, when set, closes the contribution-gating feedback loop
+	// (ContAvg): before aggregating a round it picks which available
+	// clients' updates may be averaged, and after the round it observes
+	// every submitted update (gated clients included, so their scores keep
+	// moving and readmission stays possible). Nil aggregates every
+	// available client — plain FedAvg.
+	Selector RoundSelector
+}
+
+// RoundSelector is the contribution-gating hook (see rounds.ContAvg).
+// Implementations must be deterministic for Run to stay a pure function of
+// its Config.
+type RoundSelector interface {
+	// Select returns the subset of the available participant IDs whose
+	// updates may be aggregated this round, based on state through the
+	// previous round.
+	Select(round int, available []int) []int
+	// Observe feeds one round's submitted client updates (in ascending
+	// participant order, gated clients included) back to the selector
+	// after aggregation. An error aborts the simulation.
+	Observe(round int, updates []ClientUpdate) error
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +82,9 @@ const (
 	EventStraggler EventKind = "straggler"
 	EventAggregate EventKind = "aggregate"
 	EventSkipped   EventKind = "round-skipped"
+	// EventGated marks a client whose update was submitted but excluded
+	// from aggregation by the contribution gate (Config.Selector).
+	EventGated EventKind = "gated"
 )
 
 // Event is one audit-log entry.
@@ -72,6 +103,9 @@ type RoundStats struct {
 	Stragglers   int
 	TestAcc      float64
 	Participated []int // aggregated participant indices
+	// Gated lists available clients whose updates the selector excluded
+	// from aggregation this round (they still submitted and were scored).
+	Gated []int
 }
 
 // ClientUpdate is one client's aggregated contribution to a round: its
@@ -92,9 +126,11 @@ type Result struct {
 	Events []Event
 	// Participation[i] counts rounds participant i's update was aggregated.
 	Participation []int
-	// Updates holds each round's aggregated client updates in ascending
+	// Updates holds each round's submitted client updates in ascending
 	// participant order (nil for rounds no client reached) — the round
-	// stream a live federation would push to POST /v1/rounds.
+	// stream a live federation would push to POST /v1/rounds. Under
+	// contribution gating this includes updates the gate excluded from
+	// aggregation: they were still uploaded and still get scored.
 	Updates [][]ClientUpdate
 }
 
@@ -176,26 +212,71 @@ func Run(enc *dataset.Encoder, parts []*fl.Participant, test *dataset.Table, cfg
 			continue
 		}
 
+		// Contribution gating: the selector (scores through round-1) picks
+		// which available clients' updates may be aggregated. Everyone
+		// available still trains and submits — gated clients are excluded
+		// from the weighted average only, so the selector keeps observing
+		// (and re-scoring) them and hysteretic readmission stays possible.
+		admitted := available
+		if cfg.Selector != nil {
+			ids := make([]int, len(available))
+			for i, p := range available {
+				ids[i] = p.ID
+			}
+			admit := make(map[int]bool, len(ids))
+			for _, id := range cfg.Selector.Select(round, ids) {
+				admit[id] = true
+			}
+			admitted = admitted[:0:0]
+			for _, p := range available {
+				if admit[p.ID] {
+					admitted = append(admitted, p)
+					continue
+				}
+				stats.Gated = append(stats.Gated, p.ID)
+				res.Events = append(res.Events, Event{
+					Round: round, Kind: EventGated, Participant: p.ID,
+					Detail: "update excluded from aggregation by contribution gate",
+				})
+			}
+			sort.Ints(stats.Gated)
+		}
+
 		// One FedAvg round over the available clients, warm-started from the
-		// current global parameters.
-		roundModel, updates, err := trainOneRound(trainer, global, available)
+		// current global parameters; only admitted clients' (possibly
+		// tampered) updates enter the weighted average.
+		roundModel, updates, err := trainOneRound(trainer, global, available, admitted, round, cfg.Tampers)
 		if err != nil {
 			return nil, err
 		}
-		global = roundModel
 		res.Updates = append(res.Updates, updates)
-		stats.Selected = len(available)
-		for _, p := range available {
-			res.Participation[indexOf(parts, p)]++
-			stats.Participated = append(stats.Participated, p.ID)
+		if roundModel == nil {
+			res.Events = append(res.Events, Event{
+				Round: round, Kind: EventSkipped, Participant: -1,
+				Detail: "every available client gated; global model unchanged",
+			})
+		} else {
+			global = roundModel
+			stats.Selected = len(admitted)
+			for _, p := range admitted {
+				res.Participation[indexOf(parts, p)]++
+				stats.Participated = append(stats.Participated, p.ID)
+			}
+			sort.Ints(stats.Participated)
 		}
-		sort.Ints(stats.Participated)
 		stats.TestAcc = trainer.Evaluate(global, test)
-		res.Events = append(res.Events, Event{
-			Round: round, Kind: EventAggregate, Participant: -1,
-			Detail: fmt.Sprintf("aggregated %d updates, test acc %.3f", stats.Selected, stats.TestAcc),
-		})
+		if roundModel != nil {
+			res.Events = append(res.Events, Event{
+				Round: round, Kind: EventAggregate, Participant: -1,
+				Detail: fmt.Sprintf("aggregated %d updates, test acc %.3f", stats.Selected, stats.TestAcc),
+			})
+		}
 		res.Rounds = append(res.Rounds, stats)
+		if cfg.Selector != nil {
+			if err := cfg.Selector.Observe(round, updates); err != nil {
+				return nil, fmt.Errorf("fedsim: selector observe round %d: %w", round, err)
+			}
+		}
 		snapshot()
 	}
 	if bestParams != nil {
@@ -211,28 +292,44 @@ func Run(enc *dataset.Encoder, parts []*fl.Participant, test *dataset.Table, cfg
 // parameters. fl.Trainer creates a fresh model per Train call, so the warm
 // start is injected by cloning parameters after construction via a
 // one-round training on each client from the given starting point.
-func trainOneRound(trainer *fl.Trainer, global *nn.Model, parts []*fl.Participant) (*nn.Model, []ClientUpdate, error) {
+//
+// Every participant in parts trains and submits an update (tampers from
+// the attack map rewrite the upload in place first); only the admitted
+// subset enters the weighted average. A nil model is returned when nothing
+// was admitted — the caller keeps the previous global.
+func trainOneRound(trainer *fl.Trainer, global *nn.Model, parts, admitted []*fl.Participant, round int, tampers map[int]fl.UpdateTamper) (*nn.Model, []ClientUpdate, error) {
 	// Emulate fl.Trainer's round with an explicit warm start: each client
 	// clones the global model, trains locally, and the server averages
 	// weighted by data size. The per-client (weight, params) pairs are
 	// captured as the round's ClientUpdates so downstream consumers (the
 	// streaming valuation engine) can re-aggregate any sub-coalition.
 	total := 0
-	for _, p := range parts {
+	admit := make(map[int]bool, len(admitted))
+	for _, p := range admitted {
+		admit[p.ID] = true
 		total += p.Size()
 	}
-	agg := make([]float64, len(global.Params()))
+	globalParams := global.Params()
+	agg := make([]float64, len(globalParams))
 	updates := make([]ClientUpdate, 0, len(parts))
 	for _, p := range parts {
 		local := global.Clone()
 		x, y := trainer.Encoder().EncodeTable(p.Data)
 		local.TrainEpochs(x, y, trainer.Config().LocalEpochs)
-		w := float64(p.Size()) / float64(total)
 		params := local.Params()
-		for i, v := range params {
-			agg[i] += w * v
+		if tam := tampers[p.ID]; tam != nil {
+			tam.Tamper(round, globalParams, params)
+		}
+		if admit[p.ID] {
+			w := float64(p.Size()) / float64(total)
+			for i, v := range params {
+				agg[i] += w * v
+			}
 		}
 		updates = append(updates, ClientUpdate{Participant: p.ID, Weight: float64(p.Size()), Params: params})
+	}
+	if len(admitted) == 0 {
+		return nil, updates, nil
 	}
 	next := global.Clone()
 	if err := next.SetParams(agg); err != nil {

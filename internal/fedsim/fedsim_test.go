@@ -135,3 +135,137 @@ func TestRunValidation(t *testing.T) {
 		t.Fatal("no participants should error")
 	}
 }
+
+// stubSelector gates a fixed participant from a given round on and records
+// what it observed.
+type stubSelector struct {
+	gateID    int
+	fromRound int
+	observed  [][]ClientUpdate
+}
+
+func (s *stubSelector) Select(round int, available []int) []int {
+	if round < s.fromRound {
+		return available
+	}
+	out := make([]int, 0, len(available))
+	for _, id := range available {
+		if id != s.gateID {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (s *stubSelector) Observe(round int, updates []ClientUpdate) error {
+	cp := make([]ClientUpdate, len(updates))
+	copy(cp, updates)
+	s.observed = append(s.observed, cp)
+	return nil
+}
+
+func TestRunWithSelectorGatesAggregation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	enc, parts, test := setup(t)
+	sel := &stubSelector{gateID: 2, fromRound: 1}
+	res, err := Run(enc, parts, test, Config{
+		Rounds: 3, LocalEpochs: 3, Seed: 1, Selector: sel,
+		Model: nn.Config{Hidden: []int{16}, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 aggregates everyone; rounds 1-2 exclude participant 2 from
+	// the average but still collect (and observe) its update.
+	if res.Participation[2] != 1 {
+		t.Fatalf("gated participant aggregated %d rounds, want 1", res.Participation[2])
+	}
+	for round, rs := range res.Rounds {
+		wantSel := 4
+		if round >= 1 {
+			wantSel = 3
+		}
+		if rs.Selected != wantSel {
+			t.Fatalf("round %d selected %d, want %d", round, rs.Selected, wantSel)
+		}
+		if len(res.Updates[round]) != 4 {
+			t.Fatalf("round %d submitted %d updates, want 4 (gated clients still submit)", round, len(res.Updates[round]))
+		}
+	}
+	if got := res.Rounds[1].Gated; len(got) != 1 || got[0] != 2 {
+		t.Fatalf("round 1 gated list = %v, want [2]", got)
+	}
+	if len(sel.observed) != 3 {
+		t.Fatalf("selector observed %d rounds, want 3", len(sel.observed))
+	}
+	gatedEvents := 0
+	for _, ev := range res.Events {
+		if ev.Kind == EventGated {
+			gatedEvents++
+			if ev.Participant != 2 {
+				t.Fatalf("gate event for participant %d", ev.Participant)
+			}
+		}
+	}
+	if gatedEvents != 2 {
+		t.Fatalf("gate events = %d, want 2", gatedEvents)
+	}
+	if !strings.Contains(res.EventLog(), "gated") {
+		t.Fatal("event log does not render gate events")
+	}
+}
+
+func TestRunTampersRewriteUploads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	enc, parts, test := setup(t)
+	cfg := Config{
+		Rounds: 2, LocalEpochs: 3, Seed: 1,
+		Model: nn.Config{Hidden: []int{16}, Seed: 2},
+	}
+	honest, err := Run(enc, parts, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tampers = map[int]fl.UpdateTamper{1: &fl.FreeRider{Mode: fl.FreeRideZero}}
+	attacked, err := Run(enc, parts, test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 0 starts from the same global on both runs, so the zero
+	// free-rider's upload must equal the (shared) starting parameters while
+	// its honest counterpart's differs.
+	diff := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return true
+			}
+		}
+		return false
+	}
+	var honestUp, attackedUp, honestOther, attackedOther []float64
+	for _, u := range honest.Updates[0] {
+		if u.Participant == 1 {
+			honestUp = u.Params
+		} else if honestOther == nil {
+			honestOther = u.Params
+		}
+	}
+	for _, u := range attacked.Updates[0] {
+		if u.Participant == 1 {
+			attackedUp = u.Params
+		} else if attackedOther == nil {
+			attackedOther = u.Params
+		}
+	}
+	if !diff(honestUp, attackedUp) {
+		t.Fatal("tamper left the attacker's upload unchanged")
+	}
+	if diff(honestOther, attackedOther) {
+		t.Fatal("tamper leaked into an honest client's round-0 upload")
+	}
+}

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/dataset"
@@ -57,15 +58,23 @@ func FlipLabels(p *Participant, ratio float64, r *rand.Rand) *Participant {
 }
 
 // ReplaceParticipant returns a copy of parts with the participant whose ID
-// matches repl.ID swapped for repl.
+// matches repl.ID swapped for repl. It panics when no participant carries
+// that ID: the callers are attack/robustness harnesses, where a typo'd ID
+// silently returning an unmodified federation would void a whole attack
+// cell and report a perfectly robust scheme that was never attacked.
 func ReplaceParticipant(parts []*Participant, repl *Participant) []*Participant {
 	out := make([]*Participant, len(parts))
+	replaced := false
 	for i, p := range parts {
 		if p.ID == repl.ID {
 			out[i] = repl
+			replaced = true
 		} else {
 			out[i] = p
 		}
+	}
+	if !replaced {
+		panic(fmt.Sprintf("fl: ReplaceParticipant: no participant has ID %d", repl.ID))
 	}
 	return out
 }

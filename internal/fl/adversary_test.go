@@ -1,0 +1,252 @@
+package fl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// snapshotTable deep-copies a table's instances so later mutation checks
+// compare against genuinely independent memory.
+func snapshotTable(t *dataset.Table) []dataset.Instance {
+	out := make([]dataset.Instance, len(t.Instances))
+	for i, in := range t.Instances {
+		out[i] = dataset.Instance{Values: append([]float64(nil), in.Values...), Label: in.Label}
+	}
+	return out
+}
+
+func tablesEqual(a []dataset.Instance, b *dataset.Table) bool {
+	if len(a) != len(b.Instances) {
+		return false
+	}
+	for i := range a {
+		if a[i].Label != b.Instances[i].Label || len(a[i].Values) != len(b.Instances[i].Values) {
+			return false
+		}
+		for j := range a[i].Values {
+			if a[i].Values[j] != b.Instances[i].Values[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func participantsEqual(a, b *Participant) bool {
+	return a.ID == b.ID && a.Name == b.Name && tablesEqual(snapshotTable(a.Data), b.Data)
+}
+
+// The three data-space transforms must be pure functions of (input, seed):
+// same seed twice → identical output, and the original participant's table
+// is never touched (deep copy, values included).
+func TestDataAttacksSeededDeterminismAndDeepCopy(t *testing.T) {
+	base := &Participant{ID: 2, Name: "C", Data: dataset.TicTacToe().Subset(seq(60))}
+	attacks := []struct {
+		name string
+		run  func(seed int64) *Participant
+	}{
+		{"replicate", func(seed int64) *Participant { return Replicate(base, 0.4, stats.NewRNG(seed)) }},
+		{"low-quality", func(seed int64) *Participant { return InjectLowQuality(base, 0.4, stats.NewRNG(seed)) }},
+		{"label-flip", func(seed int64) *Participant { return FlipLabels(base, 0.4, stats.NewRNG(seed)) }},
+	}
+	for _, a := range attacks {
+		before := snapshotTable(base.Data)
+		got1, got2 := a.run(11), a.run(11)
+		if !participantsEqual(got1, got2) {
+			t.Errorf("%s: same seed produced different participants", a.name)
+		}
+		got3 := a.run(12)
+		if participantsEqual(got1, got3) {
+			t.Errorf("%s: different seeds produced identical participants", a.name)
+		}
+		if !tablesEqual(before, base.Data) {
+			t.Fatalf("%s: original participant data mutated", a.name)
+		}
+		// Mutating the attacked copy must not reach the original: the clone
+		// has to be deep down to the feature vectors.
+		if got1.Data.Len() > 0 && len(got1.Data.Instances[0].Values) > 0 {
+			got1.Data.Instances[0].Values[0] += 100
+			got1.Data.Instances[0].Label = 1 - got1.Data.Instances[0].Label
+			if !tablesEqual(before, base.Data) {
+				t.Fatalf("%s: attacked copy aliases the original's storage", a.name)
+			}
+		}
+	}
+}
+
+// Ratio edge cases flow through sampleCount: 0 and negative select nothing,
+// 1 and >1 select every row (clamped), and the transforms stay well-formed
+// at the extremes.
+func TestDataAttackRatioEdges(t *testing.T) {
+	base := &Participant{ID: 0, Name: "A", Data: dataset.TicTacToe().Subset(seq(20))}
+
+	for _, ratio := range []float64{0, -0.5} {
+		if got := Replicate(base, ratio, stats.NewRNG(1)); got.Size() != base.Size() {
+			t.Fatalf("Replicate(%v) size = %d, want unchanged %d", ratio, got.Size(), base.Size())
+		}
+		if got := FlipLabels(base, ratio, stats.NewRNG(1)); !tablesEqual(snapshotTable(base.Data), got.Data) {
+			t.Fatalf("FlipLabels(%v) changed labels", ratio)
+		}
+		if got := InjectLowQuality(base, ratio, stats.NewRNG(1)); !tablesEqual(snapshotTable(base.Data), got.Data) {
+			t.Fatalf("InjectLowQuality(%v) changed labels", ratio)
+		}
+	}
+
+	for _, ratio := range []float64{1, 2.5} {
+		if got := Replicate(base, ratio, stats.NewRNG(1)); got.Size() != 2*base.Size() {
+			t.Fatalf("Replicate(%v) size = %d, want doubled %d", ratio, got.Size(), 2*base.Size())
+		}
+		flipped := FlipLabels(base, ratio, stats.NewRNG(1))
+		for i := range flipped.Data.Instances {
+			if flipped.Data.Instances[i].Label != 1-base.Data.Instances[i].Label {
+				t.Fatalf("FlipLabels(%v) left row %d unflipped", ratio, i)
+			}
+		}
+	}
+}
+
+func TestReplaceParticipantPanicsOnUnknownID(t *testing.T) {
+	parts := []*Participant{{ID: 0, Name: "A"}, {ID: 1, Name: "B"}}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ReplaceParticipant with an unmatched ID did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "no participant has ID 7") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	ReplaceParticipant(parts, &Participant{ID: 7, Name: "X"})
+}
+
+func TestFreeRiderModes(t *testing.T) {
+	global := []float64{1, 2, 3, 4}
+	trained := []float64{1.5, 1.5, 3.5, 3.5}
+
+	zero := &FreeRider{Mode: FreeRideZero}
+	p := append([]float64(nil), trained...)
+	zero.Tamper(0, global, p)
+	for i := range p {
+		if p[i] != global[i] {
+			t.Fatalf("zero free-rider upload differs from global at %d", i)
+		}
+	}
+
+	stale := &FreeRider{Mode: FreeRideStale}
+	p = append([]float64(nil), trained...)
+	stale.Tamper(0, global, p)
+	for i := range p {
+		if p[i] != trained[i] {
+			t.Fatal("stale free-rider must train honestly on its first round")
+		}
+	}
+	p2 := []float64{9, 9, 9, 9}
+	stale.Tamper(1, global, p2)
+	for i := range p2 {
+		if p2[i] != trained[i] {
+			t.Fatal("stale free-rider must replay its first upload")
+		}
+	}
+
+	noise := &FreeRider{Mode: FreeRideNoise, Std: 0.1, Seed: 5}
+	p = append([]float64(nil), trained...)
+	noise.Tamper(0, global, p)
+	moved := 0
+	for i := range p {
+		if math.Abs(p[i]-global[i]) > 1 {
+			t.Fatalf("noise free-rider drifted too far at %d: %v vs %v", i, p[i], global[i])
+		}
+		if p[i] != global[i] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("noise free-rider uploaded the global verbatim")
+	}
+}
+
+// A tamper's randomness is a pure function of (Seed, round): same seed same
+// round → identical draws (the collusion primitive), different rounds →
+// fresh draws.
+func TestTamperSeedDeterminismAndCollusion(t *testing.T) {
+	global := make([]float64, 16)
+	mk := func(seed int64) UpdateTamper { return &FreeRider{Mode: FreeRideNoise, Std: 0.1, Seed: seed} }
+
+	group := Colluders(3, 42, mk)
+	if len(group) != 3 {
+		t.Fatalf("Colluders returned %d tampers", len(group))
+	}
+	ups := make([][]float64, len(group))
+	for i, tam := range group {
+		ups[i] = make([]float64, len(global))
+		tam.Tamper(3, global, ups[i])
+	}
+	for i := 1; i < len(ups); i++ {
+		for j := range ups[i] {
+			if ups[i][j] != ups[0][j] {
+				t.Fatal("colluders with a shared seed drew different noise")
+			}
+		}
+	}
+
+	lone := mk(43)
+	indep := make([]float64, len(global))
+	lone.Tamper(3, global, indep)
+	same := true
+	for j := range indep {
+		if indep[j] != ups[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("independent seed reproduced the colluding group's draw")
+	}
+
+	again := make([]float64, len(global))
+	mk(42).Tamper(4, global, again)
+	same = true
+	for j := range again {
+		if again[j] != ups[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("round 4 reused round 3's noise draw")
+	}
+}
+
+func TestScalingAndSignFlip(t *testing.T) {
+	global := []float64{1, 1, 1}
+	trained := []float64{1.5, 0.5, 1}
+
+	p := append([]float64(nil), trained...)
+	(&Scaling{Factor: 4}).Tamper(0, global, p)
+	want := []float64{3, -1, 1}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("scaling: got %v, want %v", p, want)
+		}
+	}
+
+	p = append([]float64(nil), trained...)
+	(&SignFlip{}).Tamper(0, global, p)
+	want = []float64{0.5, 1.5, 1}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("sign-flip: got %v, want %v", p, want)
+		}
+	}
+
+	p = append([]float64(nil), trained...)
+	(&SignFlip{Factor: 2}).Tamper(0, global, p)
+	want = []float64{0, 2, 1}
+	for i := range p {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("sign-flip x2: got %v, want %v", p, want)
+		}
+	}
+}

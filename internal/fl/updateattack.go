@@ -1,0 +1,159 @@
+package fl
+
+import "math/rand"
+
+// Update-space attacks: adversarial behaviours that tamper with the flat
+// parameter vector a client uploads for aggregation, rather than with the
+// client's training data. The data-space transforms in adversary.go model a
+// participant whose *dataset* is bad; the tampers here model a participant
+// whose dataset may be perfectly fine but whose *update* is hostile — the
+// attack surface "On the Fragility of Contribution Score Computation in FL"
+// (arXiv 2509.19921) studies. Batch valuation schemes that retrain
+// coalitions from data are structurally blind to these (they never see the
+// submitted update); only the streaming per-round engine, which scores the
+// updates actually uploaded, can observe them.
+//
+// Determinism contract: a tamper's randomness is a pure function of
+// (Seed, round). Two tampers constructed with the same Seed draw identical
+// per-round streams — that seed sharing IS the collusion primitive: e.g.
+// noise free-riders with independent seeds mostly cancel under FedAvg
+// (variance shrinks ~1/k), while a colluding group sharing one seed pushes
+// the same direction and adds coherently. Tampers are applied serially per
+// round (fedsim's aggregation loop) and are not safe for concurrent use;
+// the stale free-rider additionally carries per-round replay state.
+
+// UpdateTamper rewrites one client's locally trained flat parameter vector
+// in place before it is uploaded for aggregation. global is the round's
+// starting global parameter vector (read-only — the point every client
+// trained from), round the zero-based round number.
+type UpdateTamper interface {
+	Name() string
+	Tamper(round int, global []float64, params []float64)
+}
+
+// tamperSeed derives the per-round RNG seed from a tamper seed
+// (SplitMix64-style, mirroring the rounds engine's permSeed): draws for
+// round t are independent of earlier rounds and identical across replays.
+func tamperSeed(seed int64, round int) int64 {
+	z := uint64(seed) + uint64(round+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// FreeRiderMode selects what a free-rider uploads instead of an honestly
+// trained update.
+type FreeRiderMode int
+
+const (
+	// FreeRideZero uploads the global parameters unchanged — a zero update
+	// that contributes nothing while still claiming aggregation weight.
+	FreeRideZero FreeRiderMode = iota
+	// FreeRideStale trains honestly on the first round it participates in,
+	// then replays that same (increasingly stale) upload forever.
+	FreeRideStale
+	// FreeRideNoise uploads the global parameters plus Gaussian noise —
+	// fabricated "training" that costs the attacker nothing.
+	FreeRideNoise
+)
+
+// FreeRider is the free-riding update tamper in one of three modes.
+type FreeRider struct {
+	Mode FreeRiderMode
+	// Std is the noise standard deviation for FreeRideNoise (default 0.05).
+	Std float64
+	// Seed drives the noise stream; colluders share it (see package doc).
+	Seed int64
+
+	stale []float64 // FreeRideStale replay buffer
+}
+
+// Name implements UpdateTamper.
+func (f *FreeRider) Name() string {
+	switch f.Mode {
+	case FreeRideStale:
+		return "free-ride-stale"
+	case FreeRideNoise:
+		return "free-ride-noise"
+	default:
+		return "free-ride-zero"
+	}
+}
+
+// Tamper implements UpdateTamper.
+func (f *FreeRider) Tamper(round int, global, params []float64) {
+	switch f.Mode {
+	case FreeRideZero:
+		copy(params, global)
+	case FreeRideStale:
+		if f.stale == nil {
+			// First participation: keep the honestly trained update and
+			// remember it; every later round replays it verbatim.
+			f.stale = append([]float64(nil), params...)
+			return
+		}
+		copy(params, f.stale)
+	case FreeRideNoise:
+		std := f.Std
+		if std == 0 {
+			std = 0.05
+		}
+		r := rand.New(rand.NewSource(tamperSeed(f.Seed, round)))
+		for i := range params {
+			params[i] = global[i] + std*r.NormFloat64()
+		}
+	}
+}
+
+// Scaling is the model-magnification attack: the honest local delta is
+// amplified by Factor, letting one client dominate the weighted average
+// (and, composed with a data attack, letting poisoned parameters overpower
+// the honest majority).
+type Scaling struct {
+	// Factor multiplies the local update delta (params - global). 1 is a
+	// no-op; the literature's boosting attacks use n/w-ish factors.
+	Factor float64
+}
+
+// Name implements UpdateTamper.
+func (s *Scaling) Name() string { return "scaling" }
+
+// Tamper implements UpdateTamper.
+func (s *Scaling) Tamper(round int, global, params []float64) {
+	for i := range params {
+		params[i] = global[i] + s.Factor*(params[i]-global[i])
+	}
+}
+
+// SignFlip is directed model poisoning: the honest local delta is negated
+// (and optionally magnified), steering the aggregate away from descent.
+type SignFlip struct {
+	// Factor magnifies the flipped delta; 0 means 1.
+	Factor float64
+}
+
+// Name implements UpdateTamper.
+func (s *SignFlip) Name() string { return "sign-flip" }
+
+// Tamper implements UpdateTamper.
+func (s *SignFlip) Tamper(round int, global, params []float64) {
+	f := s.Factor
+	if f == 0 {
+		f = 1
+	}
+	for i := range params {
+		params[i] = global[i] - f*(params[i]-global[i])
+	}
+}
+
+// Colluders builds one tamper per group member, every one constructed from
+// the same shared seed so their per-round random draws coincide (see the
+// package doc on why coordinated noise survives averaging). mk builds one
+// member's tamper from that seed.
+func Colluders(n int, seed int64, mk func(seed int64) UpdateTamper) []UpdateTamper {
+	out := make([]UpdateTamper, n)
+	for i := range out {
+		out[i] = mk(seed)
+	}
+	return out
+}

@@ -48,6 +48,9 @@ const (
 	// KindCluster is one replication or failover transition: a follower
 	// resync, a leader push failure, or a promotion.
 	KindCluster Kind = 5
+	// KindGate is one contribution-gate transition: a participant excluded
+	// from (or readmitted to) aggregation by the ContAvg defense.
+	KindGate Kind = 6
 )
 
 // String renders the kind for JSON and terminal views.
@@ -63,6 +66,8 @@ func (k Kind) String() string {
 		return "wal"
 	case KindCluster:
 		return "cluster"
+	case KindGate:
+		return "gate"
 	default:
 		return "unknown"
 	}

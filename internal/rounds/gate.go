@@ -1,0 +1,170 @@
+package rounds
+
+// Contribution-gated client selection — the ContAvg defense. Live CTFL
+// scores feed back into FedAvg's client selection: a participant whose
+// cumulative contribution falls below a threshold is flagged as gated, and
+// a gating aggregator excludes its updates until the score recovers. The
+// feedback loop is what turns the score from a passive report into a
+// defense: free-riders, scaling attackers and label flippers all demote
+// their own scores, and demotion removes them from the aggregate.
+//
+// Two protections keep the gate from thrashing honest clients:
+//
+//   - warmup: no gate decision is taken before Warmup outcomes have been
+//     applied — early scores are dominated by sampling noise and every
+//     participant starts at exactly 0;
+//   - hysteresis: a gated participant is only readmitted once its score
+//     climbs to Threshold+Hysteresis, so a client oscillating around the
+//     threshold does not flap in and out of the aggregate.
+//
+// Determinism contract: gate state is a pure function of (Config, ordered
+// outcome sequence). Decisions are re-derived from the replayed scores on
+// every applyLocked — gated flags and the transition log rebuild
+// bit-identically after a WAL restore, at any worker count, with no extra
+// durable records.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fedsim"
+	"repro/internal/protocol"
+)
+
+// GateConfig parameterizes contribution gating (Config.Gate).
+type GateConfig struct {
+	// Threshold gates a participant once its cumulative score drops below
+	// this value (strictly less than). Scores start at 0, so thresholds
+	// are typically small negative values: a participant must demonstrably
+	// hurt the coalition before it is excluded.
+	Threshold float64
+	// Warmup is how many applied outcomes must land before gate decisions
+	// begin. 0 gates from the first outcome.
+	Warmup int
+	// Hysteresis is the readmission margin: a gated participant returns
+	// only once its score reaches Threshold+Hysteresis. 0 readmits at the
+	// threshold itself.
+	Hysteresis float64
+}
+
+// GateEvent is one gate transition: a participant excluded from (Gated
+// true) or readmitted to (Gated false) aggregation.
+type GateEvent struct {
+	// Round is the round whose applied outcome triggered the transition.
+	Round int
+	// Participant is the affected participant id.
+	Participant int
+	// Gated is the new state.
+	Gated bool
+	// Score is the cumulative score that crossed the boundary.
+	Score float64
+}
+
+// String renders the transition for logs and flight-event details.
+func (ev GateEvent) String() string {
+	verb := "gated"
+	if !ev.Gated {
+		verb = "readmitted"
+	}
+	return fmt.Sprintf("participant %d %s at round %d (score %.4f)", ev.Participant, verb, ev.Round, ev.Score)
+}
+
+// updateGateLocked re-derives gate state from the cumulative scores after
+// one applied outcome. Caller holds e.mu.
+func (e *Engine) updateGateLocked(round int) {
+	g := e.cfg.Gate
+	if g == nil || e.applied <= g.Warmup {
+		return
+	}
+	for id, sc := range e.scores {
+		for id >= len(e.gated) {
+			e.gated = append(e.gated, false)
+		}
+		switch {
+		case !e.gated[id] && sc < g.Threshold:
+			e.gated[id] = true
+			e.gateLog = append(e.gateLog, GateEvent{Round: round, Participant: id, Gated: true, Score: sc})
+			e.obs.Gated.Inc()
+		case e.gated[id] && sc >= g.Threshold+g.Hysteresis:
+			e.gated[id] = false
+			e.gateLog = append(e.gateLog, GateEvent{Round: round, Participant: id, Gated: false, Score: sc})
+		}
+	}
+}
+
+// Gated returns the current gate flags, indexed by participant id and
+// aligned with Snapshot().Scores. All false when gating is disabled.
+func (e *Engine) Gated() []bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]bool, len(e.scores))
+	copy(out, e.gated)
+	return out
+}
+
+// GateEvents returns every gate transition so far, in application order.
+func (e *Engine) GateEvents() []GateEvent {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]GateEvent, len(e.gateLog))
+	copy(out, e.gateLog)
+	return out
+}
+
+// ContAvg adapts a (gated) Engine to fedsim's RoundSelector: every round's
+// submitted updates stream into the engine, and the engine's gate flags
+// decide which clients the next round may aggregate. Gated clients keep
+// submitting and keep being scored — that is what makes hysteretic
+// readmission possible — they are only excluded from the weighted average.
+//
+// With Config.Gate nil the adapter is a pure observer: it scores the
+// stream and admits everyone, which is exactly the ungated baseline the
+// defense experiments compare against.
+type ContAvg struct {
+	Engine *Engine
+}
+
+// Select implements fedsim.RoundSelector: the available participants minus
+// those currently gated.
+func (c *ContAvg) Select(round int, available []int) []int {
+	gated := c.Engine.Gated()
+	out := make([]int, 0, len(available))
+	for _, id := range available {
+		if id >= 0 && id < len(gated) && gated[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Observe implements fedsim.RoundSelector: it frames the round's submitted
+// updates as a wire round-update and runs it through the engine's
+// compute→apply path, advancing scores and gate state.
+func (c *ContAvg) Observe(round int, updates []fedsim.ClientUpdate) error {
+	if len(updates) == 0 {
+		return nil
+	}
+	parts := make([]protocol.RoundParticipant, len(updates))
+	for i, u := range updates {
+		parts[i] = protocol.RoundParticipant{ID: u.Participant, Weight: u.Weight, Params: u.Params}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].ID < parts[j].ID })
+	frame, err := protocol.AppendRoundUpdate(nil, round, parts)
+	if err != nil {
+		return fmt.Errorf("rounds: gate observe round %d: %w", round, err)
+	}
+	f, _, err := protocol.ParseFrame(frame)
+	if err != nil {
+		return err
+	}
+	u, err := protocol.ParseRoundUpdate(f)
+	if err != nil {
+		return err
+	}
+	out, err := c.Engine.Compute(u)
+	if err != nil {
+		return err
+	}
+	return c.Engine.Apply(out)
+}

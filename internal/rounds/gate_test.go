@@ -1,0 +1,250 @@
+package rounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/protocol"
+	"repro/internal/telemetry"
+)
+
+// gateTestEngine builds a minimal engine for gate-policy tests; scores are
+// driven by ApplyPayload with hand-crafted outcomes, so the model and eval
+// set are never actually consulted.
+func gateTestEngine(t *testing.T, gate *GateConfig, obs *Obs) *Engine {
+	t.Helper()
+	model, err := nn.New(4, nn.Config{Hidden: []int{2}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		Model: model,
+		EvalX: [][]float64{{1, 0, 1, 0}, {0, 1, 0, 1}},
+		EvalY: []int{1, 0},
+		Gate:  gate,
+		Obs:   obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// applyDeltas replays one synthetic outcome carrying the given per-id
+// score deltas.
+func applyDeltas(t *testing.T, e *Engine, round int, vFull float64, ids []int, deltas []float64) {
+	t.Helper()
+	out := &Outcome{Round: round, VFull: vFull, IDs: ids, Deltas: deltas}
+	if err := e.ApplyPayload(out.Payload()); err != nil {
+		t.Fatalf("round %d: %v", round, err)
+	}
+}
+
+func TestGateThresholdWarmupHysteresis(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	obs := NewObs(reg)
+	e := gateTestEngine(t, &GateConfig{Threshold: -0.1, Warmup: 2, Hysteresis: 0.05}, obs)
+
+	// Rounds 0 and 1 land inside the warmup: participant 1 is already far
+	// below threshold but must not be gated yet.
+	applyDeltas(t, e, 0, 0.6, []int{0, 1}, []float64{0.2, -0.5})
+	applyDeltas(t, e, 1, 0.7, []int{0, 1}, []float64{0.01, 0})
+	if g := e.Gated(); g[0] || g[1] {
+		t.Fatalf("gated during warmup: %v", g)
+	}
+	if n := len(e.GateEvents()); n != 0 {
+		t.Fatalf("%d gate events during warmup", n)
+	}
+
+	// Third outcome: warmup over, participant 1 (score -0.5) gates.
+	applyDeltas(t, e, 2, 0.8, []int{0, 1}, []float64{0.01, 0})
+	g := e.Gated()
+	if g[0] || !g[1] {
+		t.Fatalf("after warmup: gated = %v, want [false true]", g)
+	}
+	ev := e.GateEvents()
+	if len(ev) != 1 || ev[0].Participant != 1 || !ev[0].Gated || ev[0].Round != 2 {
+		t.Fatalf("gate events = %+v", ev)
+	}
+	if got := obs.Gated.Value(); got != 1 {
+		t.Fatalf("ctfl_rounds_gated_total = %d, want 1", got)
+	}
+
+	// Score climbs above the threshold but inside the hysteresis band:
+	// still gated (-0.09 < -0.1+0.05).
+	applyDeltas(t, e, 3, 0.8, []int{0, 1}, []float64{0, 0.41})
+	if g := e.Gated(); !g[1] {
+		t.Fatal("readmitted inside the hysteresis band")
+	}
+
+	// Clears the band: readmitted. Readmissions log an event but do not
+	// count toward the gated counter.
+	applyDeltas(t, e, 4, 0.8, []int{0, 1}, []float64{0, 0.05})
+	if g := e.Gated(); g[1] {
+		t.Fatal("not readmitted above threshold+hysteresis")
+	}
+	ev = e.GateEvents()
+	if len(ev) != 2 || ev[1].Participant != 1 || ev[1].Gated || ev[1].Round != 4 {
+		t.Fatalf("gate events = %+v", ev)
+	}
+	if got := obs.Gated.Value(); got != 1 {
+		t.Fatalf("readmission changed ctfl_rounds_gated_total to %d", got)
+	}
+}
+
+func TestGateDisabledNeverGates(t *testing.T) {
+	e := gateTestEngine(t, nil, nil)
+	applyDeltas(t, e, 0, 0.5, []int{0, 1, 2}, []float64{-5, -5, -5})
+	applyDeltas(t, e, 1, 0.6, []int{0, 1, 2}, []float64{-5, -5, -5})
+	for i, g := range e.Gated() {
+		if g {
+			t.Fatalf("participant %d gated with gating disabled", i)
+		}
+	}
+	if n := len(e.GateEvents()); n != 0 {
+		t.Fatalf("%d gate events with gating disabled", n)
+	}
+}
+
+// Gate state must be a pure function of the applied outcome sequence: a
+// fresh engine replaying the same payloads (the WAL-restore path) rebuilds
+// identical gate flags and the identical transition log.
+func TestGateReplayDeterminism(t *testing.T) {
+	gate := &GateConfig{Threshold: -0.05, Warmup: 1, Hysteresis: 0.02}
+	a := gateTestEngine(t, gate, nil)
+	rounds := [][]float64{
+		{0.1, -0.2, 0.05},
+		{0.02, 0.1, -0.3},
+		{0.01, 0.08, 0.1},
+		{0, 0.1, 0.3},
+	}
+	ids := []int{0, 1, 2}
+	for r, deltas := range rounds {
+		applyDeltas(t, a, r, 0.5+float64(r)*0.01, ids, deltas)
+	}
+
+	b := gateTestEngine(t, gate, nil)
+	for _, p := range a.Payloads() {
+		if err := b.ApplyPayload(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ga, gb := a.Gated(), b.Gated()
+	if len(ga) != len(gb) {
+		t.Fatalf("gated lengths differ: %d vs %d", len(ga), len(gb))
+	}
+	for i := range ga {
+		if ga[i] != gb[i] {
+			t.Fatalf("gate flag %d differs after replay", i)
+		}
+	}
+	ea, eb := a.GateEvents(), b.GateEvents()
+	if len(ea) != len(eb) {
+		t.Fatalf("gate log lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("gate event %d differs after replay: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for i := range sa.Scores {
+		if math.Float64bits(sa.Scores[i]) != math.Float64bits(sb.Scores[i]) {
+			t.Fatalf("score %d differs after replay", i)
+		}
+	}
+}
+
+// Pathological round-updates from a free-rider — all-zero and all-NaN
+// parameter vectors — must leave the engine in a sane state: the round is
+// either applied in full (scores advance and stay finite) or rejected in
+// full (high-water and scores untouched), never half-applied.
+func TestPathologicalUpdateIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fix := fixture(t)
+	e, err := New(Config{Model: fix.sim.Model, EvalX: fix.evalX, EvalY: fix.evalY, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round 0: a legitimate round from the simulated stream.
+	var base []protocol.RoundParticipant
+	for _, u := range fix.sim.Updates {
+		if len(u) > 0 {
+			base = toParts(u)
+			break
+		}
+	}
+	pushRound(t, e, 0, base)
+
+	finiteScores := func(stage string) {
+		t.Helper()
+		for i, s := range e.Snapshot().Scores {
+			if math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("%s: score %d is %v", stage, i, s)
+			}
+		}
+	}
+	finiteScores("baseline")
+
+	pc := e.ParamCount()
+	push := func(round int, params []float64) {
+		t.Helper()
+		parts := []protocol.RoundParticipant{
+			{ID: 0, Weight: 10, Params: params},
+			{ID: 1, Weight: 5, Params: params},
+		}
+		before := e.Snapshot()
+		frame, err := protocol.AppendRoundUpdate(nil, round, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := protocol.ParseFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := protocol.ParseRoundUpdate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Compute(u)
+		if err == nil {
+			err = e.Apply(out)
+		}
+		after := e.Snapshot()
+		if err != nil {
+			// Clean rejection: nothing moved.
+			if after.Rounds != before.Rounds {
+				t.Fatalf("round %d rejected (%v) but high-water moved %d → %d", round, err, before.Rounds, after.Rounds)
+			}
+			for i := range before.Scores {
+				if math.Float64bits(before.Scores[i]) != math.Float64bits(after.Scores[i]) {
+					t.Fatalf("round %d rejected (%v) but score %d changed", round, err, i)
+				}
+			}
+			return
+		}
+		if after.Rounds != round+1 {
+			t.Fatalf("round %d applied but high-water is %d", round, after.Rounds)
+		}
+	}
+
+	// All-zero params: a zero free-rider pair. Utilities collapse to the
+	// constant accuracy of the zero model; scores must stay finite.
+	push(1, make([]float64, pc))
+	finiteScores("all-zero round")
+
+	// All-NaN params: the wire format passes NaN through bit-exactly; the
+	// engine must contain the damage (accuracy counts stay finite) rather
+	// than propagate it into the score state.
+	nan := make([]float64, pc)
+	for i := range nan {
+		nan[i] = math.NaN()
+	}
+	push(2, nan)
+	finiteScores("all-NaN round")
+}

@@ -24,6 +24,9 @@ type Obs struct {
 	InnerTruncations *telemetry.Counter
 	// Evals counts coalition model reconstructions evaluated.
 	Evals *telemetry.Counter
+	// Gated counts participants newly excluded by the contribution gate
+	// (readmissions do not count; see gate.go).
+	Gated *telemetry.Counter
 	// UpdateSeconds times one round's score update (Compute), skipped
 	// rounds included.
 	UpdateSeconds *telemetry.Histogram
@@ -52,6 +55,8 @@ func NewObs(r *telemetry.Registry) *Obs {
 		InnerTruncations: r.Counter("ctfl_rounds_inner_truncations_total",
 			"permutation walks cut short by within-round truncation"),
 		Evals: r.Counter("ctfl_rounds_evals_total", "coalition model reconstructions evaluated"),
+		Gated: r.Counter("ctfl_rounds_gated_total",
+			"participants newly excluded from aggregation by the contribution gate"),
 		UpdateSeconds: r.Histogram("ctfl_rounds_update_seconds",
 			"one round's incremental score update (skipped rounds included)", nil),
 		Staleness: r.Gauge("ctfl_rounds_score_staleness_seconds",

@@ -88,6 +88,11 @@ type Config struct {
 	// is measured over (see quality.go). 0 means 16; negative disables the
 	// quality instruments.
 	QualityWindow int
+	// Gate enables contribution-gated client selection (the ContAvg
+	// defense, see gate.go): participants whose cumulative score falls
+	// below Gate.Threshold are flagged as gated after every applied
+	// outcome. Nil disables gating.
+	Gate *GateConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +127,8 @@ type Engine struct {
 	updated  chan struct{}
 	lastTick time.Time
 	quality  qualityState
+	gated    []bool      // contribution-gate state, indexed by participant id
+	gateLog  []GateEvent // gate transitions, in application order
 
 	evals      atomic.Int64
 	truncWalks atomic.Int64
@@ -375,6 +382,7 @@ func (e *Engine) applyLocked(out *Outcome, payload []byte) {
 	e.obs.Ingested.Inc()
 	e.obs.Evals.Add(int64(out.Evals))
 	e.obs.InnerTruncations.Add(int64(out.Truncated))
+	e.updateGateLocked(out.Round)
 	e.updateQualityLocked(out)
 	close(e.updated)
 	e.updated = make(chan struct{})

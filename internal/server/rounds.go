@@ -58,6 +58,9 @@ type ScoresResponse struct {
 	// (0 right after a WAL restore — resume recomputes nothing).
 	Evals          int `json:"evals"`
 	TruncatedWalks int `json:"truncated_walks"`
+	// Gated flags participants currently excluded from aggregation by the
+	// contribution gate, aligned with Scores. Omitted when gating is off.
+	Gated []bool `json:"gated,omitempty"`
 }
 
 // applyRoundEval installs a fresh round-stream engine over the parsed
@@ -74,6 +77,7 @@ func (s *Server) applyRoundEval(test *dataset.Table, raw []byte) {
 		Seed:         s.opts.RoundSeed,
 		Workers:      s.opts.RoundWorkers,
 		Obs:          s.roundsObs,
+		Gate:         s.opts.RoundGate,
 	})
 	if err != nil {
 		// Construction only fails on an empty eval set or a missing model,
@@ -259,6 +263,27 @@ func (s *Server) handleRoundUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.maybeCompactLocked()
+	// Gate transitions this outcome triggered become KindGate flight
+	// events: exclusions as rejections, readmissions as OKs; both carry
+	// the rendered transition so they pin in the tail ring.
+	for _, ev := range eng.GateEvents() {
+		if ev.Round != out.Round {
+			continue
+		}
+		outcome := flight.OutcomeOK
+		if ev.Gated {
+			outcome = flight.OutcomeRejected
+		}
+		s.flightRec.Record(flight.Event{
+			Kind:      flight.KindGate,
+			Outcome:   outcome,
+			Route:     "rounds.gate",
+			RequestID: telemetry.RequestIDFrom(r.Context()),
+			Aux:       int64(ev.Round),
+			Degraded:  s.degradedGauge.Value() != 0,
+			Err:       ev.String(),
+		})
+	}
 	roundEvent(flight.OutcomeOK, out.Round, "")
 	writeJSON(w, http.StatusOK, RoundResponse{
 		Round:         out.Round,
@@ -309,10 +334,14 @@ func (s *Server) handleScores(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(frame)
 		return
 	}
-	writeJSON(w, http.StatusOK, ScoresResponse{
+	resp := ScoresResponse{
 		ScoresSnapshot: snap,
 		Participants:   len(snap.Scores),
 		Evals:          eng.Evals(),
 		TruncatedWalks: eng.TruncatedWalks(),
-	})
+	}
+	if s.opts.RoundGate != nil {
+		resp.Gated = eng.Gated()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

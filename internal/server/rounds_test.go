@@ -396,3 +396,150 @@ func TestScoresWaitRequestCancellation(t *testing.T) {
 		t.Fatalf("snapshot rounds = %d, want 0 (nothing ingested)", sr.Rounds)
 	}
 }
+
+// TestContributionGateOnServer wires the ContAvg defense through the full
+// service: a gated server flags the worst participant on GET /v1/scores,
+// surfaces the transition as a KindGate flight event and the
+// ctfl_rounds_gated_total counter, and a WAL restore rebuilds the gate
+// flags bit-identically (gate state is derived, never separately logged).
+func TestContributionGateOnServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	fx := buildStreamFederation(t)
+	stream := fx.wireRounds()
+	evalX, evalY := fx.enc.EncodeTable(fx.test)
+	ctx := context.Background()
+
+	pushLocal := func(e *rounds.Engine, round int, parts []protocol.RoundParticipant) {
+		t.Helper()
+		frame, err := protocol.AppendRoundUpdate(nil, round, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _, _ := protocol.ParseFrame(frame)
+		u, err := protocol.ParseRoundUpdate(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Compute(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Apply(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Ungated reference run picks a threshold the worst participant is sure
+	// to cross: halfway between the two lowest final scores.
+	ref, err := rounds.New(rounds.Config{Model: fx.sim.Model, EvalX: evalX, EvalY: evalY})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, parts := range stream {
+		pushLocal(ref, round, parts)
+	}
+	final := append([]float64(nil), ref.Snapshot().Scores...)
+	order := stats.ArgsortDesc(final)
+	lowest, second := final[order[len(order)-1]], final[order[len(order)-2]]
+	gate := &rounds.GateConfig{Threshold: (lowest + second) / 2, Warmup: 2, Hysteresis: 0.01}
+
+	// Expected gate state: a local engine with the same gate and (default)
+	// seed over the same stream.
+	exp, err := rounds.New(rounds.Config{Model: fx.sim.Model, EvalX: evalX, EvalY: evalY, Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round, parts := range stream {
+		pushLocal(exp, round, parts)
+	}
+	expGated := exp.Gated()
+	expEvents := exp.GateEvents()
+	if len(expEvents) == 0 {
+		t.Fatalf("threshold %.4f produced no gate transitions", gate.Threshold)
+	}
+
+	dir := t.TempDir()
+	s1, err := NewWithOptions(Options{DataDir: dir, Logf: t.Logf, RoundGate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1)
+	c := &Client{BaseURL: ts1.URL}
+	if err := c.PublishEncoder(ctx, fx.enc); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishModel(ctx, fx.sim.Model); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PublishRoundEval(ctx, fx.test); err != nil {
+		t.Fatal(err)
+	}
+	for round, parts := range stream {
+		if _, err := c.PushRound(ctx, round, parts); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	var sr ScoresResponse
+	if err := jsonGet(ts1, "/v1/scores", &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Gated) != len(expGated) {
+		t.Fatalf("gated flags = %v, want %v", sr.Gated, expGated)
+	}
+	for i := range expGated {
+		if sr.Gated[i] != expGated[i] {
+			t.Fatalf("gated[%d] = %v, want %v (flags %v)", i, sr.Gated[i], expGated[i], sr.Gated)
+		}
+	}
+
+	// The transition surfaced as a KindGate flight event and on /metrics.
+	var ev EventsResponse
+	if err := jsonGet(ts1, "/v1/events", &ev); err != nil {
+		t.Fatal(err)
+	}
+	sawGateEvent := false
+	for _, e := range ev.Events {
+		if e.Kind == "gate" && e.Route == "rounds.gate" && strings.Contains(e.Err, "gated") {
+			sawGateEvent = true
+		}
+	}
+	if !sawGateEvent {
+		t.Fatalf("no gate flight event in %d events", len(ev.Events))
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "ctfl_rounds_gated_total") {
+		t.Fatal("/metrics lacks ctfl_rounds_gated_total")
+	}
+	if strings.Contains(metrics, "ctfl_rounds_gated_total 0\n") {
+		t.Fatal("gate counter still zero after a gating transition")
+	}
+	ts1.Close() // crash without graceful close: WAL only
+
+	// Restore: gate flags must rebuild from replayed outcomes alone.
+	s2, err := NewWithOptions(Options{DataDir: dir, Logf: t.Logf, RoundGate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	defer closeServer(t, s2)
+	var restored ScoresResponse
+	if err := jsonGet(ts2, "/v1/scores", &restored); err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqualScores(t, "after WAL recovery", &restored.ScoresSnapshot, &sr.ScoresSnapshot)
+	if len(restored.Gated) != len(expGated) {
+		t.Fatalf("restored gated flags = %v, want %v", restored.Gated, expGated)
+	}
+	for i := range expGated {
+		if restored.Gated[i] != expGated[i] {
+			t.Fatalf("restored gated[%d] = %v, want %v", i, restored.Gated[i], expGated[i])
+		}
+	}
+}

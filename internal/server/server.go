@@ -148,6 +148,11 @@ type Options struct {
 	// RoundWorkers bounds concurrent coalition evaluations per round
 	// (0 = GOMAXPROCS). Scores are bit-identical at any value.
 	RoundWorkers int
+	// RoundGate enables contribution-gated client selection (the ContAvg
+	// defense): participants whose streaming score falls below the
+	// threshold are flagged gated on GET /v1/scores and surface as
+	// KindGate flight events. Nil disables gating.
+	RoundGate *rounds.GateConfig
 
 	// FlightSize bounds the flight recorder's routine ring (default 1024
 	// events); FlightTailSize bounds the pinned tail of interesting events

@@ -32,6 +32,12 @@ echo "== go test -race (valuation engine + round stream + FL trainer, parallel p
 go test -race ./internal/valuation/... ./internal/rounds/... ./internal/fl/...
 go test -race -short ./internal/experiments/...
 
+echo "== go test -race (adversarial robustness: attack matrix + ContAvg defense)"
+go test -race ./internal/attack/...
+
+echo "== attack-matrix smoke (one attack x one scheme through both valuation paths)"
+go test -run=TestMatrixAcrossWorkers -count=1 ./internal/attack/
+
 echo "== go test ./... (full suite)"
 go test ./...
 

@@ -40,6 +40,7 @@ var requiredFamilies = []string{
 	"ctfl_server_degraded",
 	"ctfl_rounds_ingested_total",
 	"ctfl_rounds_skipped_total",
+	"ctfl_rounds_gated_total",
 	"ctfl_rounds_score_staleness_seconds",
 	"ctfl_rounds_score_drift",
 	"ctfl_rounds_sampling_variance",
